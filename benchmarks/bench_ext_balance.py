@@ -1,0 +1,5 @@
+"""Extension study (system balance) — regeneration benchmark."""
+
+
+def test_ext_balance(regenerate):
+    regenerate("ext_balance")

@@ -1,0 +1,5 @@
+"""Extension study (quad-core projection) — regeneration benchmark."""
+
+
+def test_ext_multicore(regenerate):
+    regenerate("ext_multicore")

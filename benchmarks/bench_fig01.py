@@ -1,0 +1,5 @@
+"""Figure 1: Lustre architecture + IOR sweep — regeneration benchmark."""
+
+
+def test_fig01(regenerate):
+    regenerate("fig01")

@@ -1,0 +1,5 @@
+"""Figure 2: HPCC network latency — regeneration benchmark."""
+
+
+def test_fig02(regenerate):
+    regenerate("fig02")

@@ -1,0 +1,5 @@
+"""Figure 3: HPCC network bandwidth — regeneration benchmark."""
+
+
+def test_fig03(regenerate):
+    regenerate("fig03")

@@ -1,0 +1,5 @@
+"""Figure 4: SP/EP FFT — regeneration benchmark."""
+
+
+def test_fig04(regenerate):
+    regenerate("fig04")

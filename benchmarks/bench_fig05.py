@@ -1,0 +1,5 @@
+"""Figure 5: SP/EP DGEMM — regeneration benchmark."""
+
+
+def test_fig05(regenerate):
+    regenerate("fig05")

@@ -1,0 +1,5 @@
+"""Figure 6: SP/EP RandomAccess — regeneration benchmark."""
+
+
+def test_fig06(regenerate):
+    regenerate("fig06")

@@ -1,0 +1,5 @@
+"""Figure 7: SP/EP STREAM triad — regeneration benchmark."""
+
+
+def test_fig07(regenerate):
+    regenerate("fig07")

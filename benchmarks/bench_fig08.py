@@ -1,0 +1,5 @@
+"""Figure 8: global HPL — regeneration benchmark."""
+
+
+def test_fig08(regenerate):
+    regenerate("fig08")

@@ -1,0 +1,5 @@
+"""Figure 9: global MPI-FFT — regeneration benchmark."""
+
+
+def test_fig09(regenerate):
+    regenerate("fig09")

@@ -1,0 +1,5 @@
+"""Figure 10: global PTRANS — regeneration benchmark."""
+
+
+def test_fig10(regenerate):
+    regenerate("fig10")

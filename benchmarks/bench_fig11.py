@@ -1,0 +1,5 @@
+"""Figure 11: global MPI RandomAccess — regeneration benchmark."""
+
+
+def test_fig11(regenerate):
+    regenerate("fig11")

@@ -1,0 +1,5 @@
+"""Figures 12-13: bidirectional MPI bandwidth (DES) — regeneration benchmark."""
+
+
+def test_fig12_13(regenerate):
+    regenerate("fig12_13")

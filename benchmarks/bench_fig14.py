@@ -1,0 +1,5 @@
+"""Figure 14: CAM XT4 vs XT3 — regeneration benchmark."""
+
+
+def test_fig14(regenerate):
+    regenerate("fig14")

@@ -1,0 +1,5 @@
+"""Figure 15: CAM cross-platform — regeneration benchmark."""
+
+
+def test_fig15(regenerate):
+    regenerate("fig15")

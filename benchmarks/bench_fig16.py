@@ -1,0 +1,5 @@
+"""Figure 16: CAM phase breakdown — regeneration benchmark."""
+
+
+def test_fig16(regenerate):
+    regenerate("fig16")

@@ -1,0 +1,5 @@
+"""Figure 17: POP XT4 vs XT3 — regeneration benchmark."""
+
+
+def test_fig17(regenerate):
+    regenerate("fig17")

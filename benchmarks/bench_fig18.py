@@ -1,0 +1,5 @@
+"""Figure 18: POP cross-platform + C-G — regeneration benchmark."""
+
+
+def test_fig18(regenerate):
+    regenerate("fig18")

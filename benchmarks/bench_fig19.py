@@ -1,0 +1,5 @@
+"""Figure 19: POP phase breakdown — regeneration benchmark."""
+
+
+def test_fig19(regenerate):
+    regenerate("fig19")

@@ -1,0 +1,5 @@
+"""Figure 20: NAMD XT4 vs XT3 — regeneration benchmark."""
+
+
+def test_fig20(regenerate):
+    regenerate("fig20")

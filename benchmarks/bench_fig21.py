@@ -1,0 +1,5 @@
+"""Figure 21: NAMD SN vs VN — regeneration benchmark."""
+
+
+def test_fig21(regenerate):
+    regenerate("fig21")

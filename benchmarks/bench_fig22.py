@@ -1,0 +1,5 @@
+"""Figure 22: S3D weak scaling — regeneration benchmark."""
+
+
+def test_fig22(regenerate):
+    regenerate("fig22")

@@ -1,0 +1,5 @@
+"""Figure 23: AORSA grind times — regeneration benchmark."""
+
+
+def test_fig23(regenerate):
+    regenerate("fig23")

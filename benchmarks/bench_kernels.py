@@ -1,0 +1,87 @@
+"""Real-kernel wall-clock benchmarks (the host machine's own rates).
+
+These time the from-scratch numerical kernels themselves — useful when
+optimizing the library and as a sanity floor for the simulation's
+throughput (a simulated experiment regenerates in milliseconds precisely
+because the heavy numerics live here, not in the models).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    block_transpose,
+    chronopoulos_gear_cg,
+    conjugate_gradient,
+    deriv8,
+    dgemm,
+    fft,
+    hpcc_random_stream,
+    lu_factor,
+    random_access_update,
+    stream_triad,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_dgemm_256(benchmark, rng):
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 256))
+    c = benchmark(dgemm, a, b)
+    assert c.shape == (256, 256)
+
+
+def test_fft_64k(benchmark, rng):
+    x = rng.standard_normal(1 << 16) + 1j * rng.standard_normal(1 << 16)
+    y = benchmark(fft, x)
+    assert y.shape == x.shape
+
+
+def test_stream_triad_1m(benchmark, rng):
+    n = 1_000_000
+    a, b, c = np.empty(n), rng.standard_normal(n), rng.standard_normal(n)
+    nbytes = benchmark(stream_triad, a, b, c, 3.0)
+    assert nbytes == 3 * n * 8
+
+
+def test_random_access_64k(benchmark):
+    stream = hpcc_random_stream(1 << 16)
+
+    def run():
+        table = np.arange(1 << 16, dtype=np.uint64)
+        return random_access_update(table, stream, batch=64)
+
+    assert benchmark(run) == 1 << 16
+
+
+def test_lu_factor_200(benchmark, rng):
+    a = rng.standard_normal((200, 200)) + 200 * np.eye(200)
+    lu, piv = benchmark(lu_factor, a)
+    assert lu.shape == (200, 200)
+
+
+def test_cg_vs_cgcg_iteration_cost(benchmark, rng):
+    n = 400
+    m = rng.standard_normal((n, n))
+    a = m @ m.T + n * np.eye(n)
+    b = rng.standard_normal(n)
+    res = benchmark(conjugate_gradient, lambda v: a @ v, b, tol=1e-8)
+    assert res.converged
+    # C-G agrees (ablation: same solve, half the reductions).
+    res2 = chronopoulos_gear_cg(lambda v: a @ v, b, tol=1e-8)
+    assert np.allclose(res.x, res2.x, atol=1e-5)
+
+
+def test_deriv8_256sq(benchmark, rng):
+    f = rng.standard_normal((256, 256))
+    benchmark(deriv8, f, 0.1, 1)
+
+
+def test_block_transpose_1ksq(benchmark, rng):
+    a = rng.standard_normal((1024, 1024))
+    out = benchmark(block_transpose, a)
+    assert out.shape == (1024, 1024)

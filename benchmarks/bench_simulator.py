@@ -1,0 +1,69 @@
+"""Simulation-infrastructure throughput benchmarks (ablations).
+
+How fast the discrete-event core and the simulated MPI run — these bound
+how large a DES experiment is practical, and act as regression guards
+for the event loop and the message path.
+"""
+
+import pytest
+
+from repro.machine import xt4
+from repro.mpi import MPIJob
+from repro.simengine import Delay, Simulator
+
+
+def test_event_loop_100k_events(benchmark):
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(100_000):
+                yield Delay(1.0)
+
+        sim.spawn(ticker())
+        return sim.run()
+
+    assert benchmark(run) == 100_000.0
+
+
+def test_des_pingpong_1000_roundtrips(benchmark):
+    def run():
+        def main(comm):
+            peer = 1 - comm.rank
+            for i in range(1000):
+                if comm.rank == 0:
+                    yield from comm.send(b"", dest=peer, nbytes=8, tag=i)
+                    yield from comm.recv(source=peer, tag=i)
+                else:
+                    yield from comm.recv(source=peer, tag=i)
+                    yield from comm.send(b"", dest=peer, nbytes=8, tag=i)
+            return comm.wtime()
+
+        return MPIJob(xt4("SN"), 2).run(main).elapsed_s
+
+    elapsed = benchmark(run)
+    assert elapsed > 0
+
+
+def test_des_allreduce_64_ranks(benchmark):
+    def run():
+        def main(comm):
+            total = 0.0
+            for _ in range(20):
+                total = yield from comm.allreduce(comm.rank, op="sum")
+            return total
+
+        return MPIJob(xt4("VN"), 64).run(main).returns[0]
+
+    assert benchmark(run) == sum(range(64))
+
+
+def test_des_alltoall_32_ranks(benchmark):
+    def run():
+        def main(comm):
+            out = yield from comm.alltoall([comm.rank] * comm.size)
+            return sum(out)
+
+        return MPIJob(xt4("VN"), 32).run(main).returns[0]
+
+    assert benchmark(run) == sum(range(32))

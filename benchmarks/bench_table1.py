@@ -1,0 +1,5 @@
+"""Table 1: XT3 / XT3-DC / XT4 system comparison — regeneration benchmark."""
+
+
+def test_table1(regenerate):
+    regenerate("table1")

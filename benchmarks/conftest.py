@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_<artifact>.py`` regenerates one paper table/figure through
+the registered experiment driver, benchmarks the regeneration, validates
+the paper's shape checks on the output, and prints the regenerated
+rows/series (use ``-s`` to see them).
+"""
+
+import importlib
+
+import pytest
+
+from repro.core import get_experiment
+from repro.core.report import render_result
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Benchmark an experiment driver and shape-check its output."""
+
+    def _run(exp_id: str):
+        driver = get_experiment(exp_id)
+        result = benchmark(driver)
+        module = importlib.import_module(driver.__module__)
+        check = module.shape_checks(result)
+        check.raise_if_failed()
+        with capsys.disabled():
+            print()
+            print(render_result(result))
+            print(check.summary())
+        return result
+
+    return _run

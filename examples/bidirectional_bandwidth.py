@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The §5.2 bidirectional-bandwidth experiments on the DES network.
+
+One-pair and two-pair exchanges across the message-size sweep, for the
+single-core XT3, dual-core XT3 and XT4 — the data behind Figures 12-13.
+Contention is not asserted anywhere: the halving of two-pair bandwidth
+and the latency blow-up emerge from NIC/link resources in the simulator.
+
+Run:  python examples/bidirectional_bandwidth.py
+"""
+
+from repro.core.report import render_table
+from repro.hpcc.bidirectional import DEFAULT_SIZES, BidirectionalBandwidth
+from repro.machine import xt3, xt3_dc, xt4
+
+
+def main() -> None:
+    benches = {
+        "XT3-SC": BidirectionalBandwidth(xt3()),
+        "XT3-DC": BidirectionalBandwidth(xt3_dc()),
+        "XT4": BidirectionalBandwidth(xt4()),
+    }
+    rows = []
+    for size in DEFAULT_SIZES:
+        row = {"message bytes": size}
+        for label, bench in benches.items():
+            row[f"{label} 1-pair"] = round(bench.bandwidth_GBs(size, 1), 3)
+        for label in ("XT3-DC", "XT4"):
+            row[f"{label} 2-pair"] = round(
+                benches[label].bandwidth_GBs(size, 2), 3
+            )
+        rows.append(row)
+    print(
+        render_table(rows, title="Bidirectional MPI bandwidth (GB/s per pair)")
+    )
+
+    rows = []
+    for label in ("XT3-DC", "XT4"):
+        b = benches[label]
+        l1, l2 = b.latency_us(1), b.latency_us(2)
+        rows.append(
+            {
+                "system": label,
+                "1-pair latency us": round(l1, 2),
+                "2-pair latency us": round(l2, 2),
+                "ratio": round(l2 / l1, 2),
+            }
+        )
+    print(render_table(rows, title="Small-message exchange latency"))
+    print(
+        "Paper checks: XT4 >= 1.8x XT3-DC above 100 kB; two-pair bandwidth\n"
+        "exactly half per pair; two-pair latency over twice one-pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Parallel I/O study on the simulated Lustre filesystem (paper §2, Fig. 1).
+
+Three IOR-style sweeps: aggregate bandwidth vs client count, the effect
+of stripe count on a single client's large write, and the single-MDS
+metadata bottleneck that the paper warns about.
+
+Run:  python examples/lustre_io_study.py
+"""
+
+from repro.core.report import render_table
+from repro.lustre import IORBenchmark, LustreClient, LustreConfig, LustreFilesystem
+from repro.simengine import Simulator
+
+
+def stripe_sweep() -> None:
+    rows = []
+    for count in (1, 2, 4, 8):
+        sim = Simulator()
+        fs = LustreFilesystem(sim, LustreConfig(num_oss=8, osts_per_oss=4))
+        client = LustreClient(fs, 0)
+        out = {}
+
+        def writer():
+            f = yield from client.create("big", stripe_count=count)
+            out["t"] = yield from client.write(f, 0, 256 << 20)
+
+        sim.spawn(writer())
+        sim.run()
+        rows.append(
+            {
+                "stripe count": count,
+                "256 MiB write (s)": round(out["t"], 3),
+                "effective GB/s": round((256 << 20) / out["t"] / 1e9, 3),
+            }
+        )
+    print(render_table(rows, title="Stripe-count effect (one client)"))
+
+
+def client_sweep() -> None:
+    config = LustreConfig(num_oss=8, osts_per_oss=4)
+    bench = IORBenchmark(config)
+    rows = []
+    for clients in (1, 4, 16, 64, 256):
+        fpp = bench.run(clients, bytes_per_client=16 << 20)
+        ssf = bench.run(clients, 16 << 20, pattern="single-shared-file")
+        rows.append(
+            {
+                "clients": clients,
+                "FPP GB/s": round(fpp.aggregate_GBs, 2),
+                "FPP metadata s": round(fpp.metadata_s, 4),
+                "SSF GB/s": round(ssf.aggregate_GBs, 2),
+                "SSF metadata s": round(ssf.metadata_s, 4),
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"IOR write sweep (peak {config.peak_bandwidth_GBs:.1f} GB/s"
+            " from 8 OSS)",
+        )
+    )
+    print(
+        "File-per-process metadata grows linearly with clients — the\n"
+        "single-MDS bottleneck; shared-file writes avoid it."
+    )
+
+
+if __name__ == "__main__":
+    stripe_sweep()
+    client_sweep()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""POP 0.1° scaling study: SN vs VN, phases, and the C-G solver (Figs 17-19).
+
+Also demonstrates the two fidelities working together: the distributed
+conjugate-gradient solver actually runs (with real numerics) on the
+simulated MPI at small scale, validating the reduction-count claim the
+large-scale model relies on.
+
+Run:  python examples/pop_scaling_study.py
+"""
+
+import numpy as np
+
+from repro.apps.pop import DistributedCG, POPModel
+from repro.apps.pop.barotropic import serial_solve
+from repro.core.report import render_table
+from repro.machine import xt4
+from repro.machine.configs import xt3_xt4_combined
+
+
+def main() -> None:
+    rows = []
+    for tasks in (1000, 2500, 5000):
+        for mode in ("SN", "VN"):
+            m = POPModel(xt4(mode), tasks)
+            rows.append(
+                {
+                    "tasks": tasks,
+                    "mode": mode,
+                    "baroclinic s/day": round(m.baroclinic_s_per_day(), 1),
+                    "barotropic s/day": round(m.barotropic_s_per_day(), 1),
+                    "sim years/day": round(m.throughput_years_per_day(), 2),
+                }
+            )
+    comb = xt3_xt4_combined("VN")
+    for tasks in (10000, 16000, 22000):
+        for solver in ("cg", "cgcg"):
+            m = POPModel(comb, tasks, solver=solver)
+            rows.append(
+                {
+                    "tasks": tasks,
+                    "mode": f"VN/{solver}",
+                    "baroclinic s/day": round(m.baroclinic_s_per_day(), 1),
+                    "barotropic s/day": round(m.barotropic_s_per_day(), 1),
+                    "sim years/day": round(m.throughput_years_per_day(), 2),
+                }
+            )
+    print(render_table(rows, title="POP 0.1-degree benchmark (model fidelity)"))
+    print(
+        "Note the barotropic phase flattening and dominating at scale, and\n"
+        "the Chronopoulos-Gear (cgcg) recovery — paper Figures 17-19.\n"
+    )
+
+    # Small-scale numeric validation of the solver the model describes.
+    rng = np.random.default_rng(42)
+    b = rng.standard_normal((16, 12))
+    ref = serial_solve(b).x
+    for variant in ("cg", "cgcg"):
+        x, iters, allreduces, job = DistributedCG(
+            xt4("VN"), 4, variant=variant
+        ).solve(b)
+        err = float(np.max(np.abs(x - ref)))
+        print(
+            f"{variant:4s}: {iters} iterations, {allreduces} fused allreduces, "
+            f"max|x - x_serial| = {err:.2e}, simulated solve "
+            f"{job.elapsed_s * 1e3:.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

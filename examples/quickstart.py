@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the Cray XT3/XT4 and run HPCC on them.
+
+Builds the three machines of the paper's Table 1, reports the headline
+micro-benchmark metrics (Figures 2-7 values), and runs a real message
+exchange on the discrete-event MPI to show the two fidelities agree.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.report import render_table
+from repro.hpcc import HPCCSuite, PingPong
+from repro.machine import table1_rows, xt3, xt3_dc, xt4
+from repro.mpi import MPIJob
+
+
+def main() -> None:
+    print(render_table(table1_rows(), title="Table 1 — evaluated systems"))
+
+    rows = []
+    for machine in (xt3(), xt4("SN"), xt4("VN")):
+        suite = HPCCSuite(machine, global_ntasks=1024)
+        metrics = suite.all_metrics()
+        rows.append(
+            {
+                "system": str(machine),
+                "latency us": round(metrics["pp_latency_min_us"], 2),
+                "pp GB/s": round(metrics["pp_bandwidth_GBs"], 2),
+                "dgemm GF": round(metrics["dgemm_sp_gflops"], 2),
+                "stream GB/s": round(metrics["stream_sp_GBs"], 2),
+                "RA gups(EP)": round(metrics["ra_ep_gups"], 4),
+                "HPL TF@1024": round(metrics["hpl_tflops"], 2),
+            }
+        )
+    print(render_table(rows, title="HPCC highlights (model fidelity)"))
+
+    # The same latency, measured by actually exchanging messages on the
+    # discrete-event network:
+    pp = PingPong(xt4("SN"))
+    print(
+        f"XT4-SN latency — model {pp.latency_us('min'):.2f} us, "
+        f"DES measurement {pp.run_des(nbytes=8, iters=10):.2f} us"
+    )
+
+    # And a tiny real MPI program, with real payloads:
+    def rank_main(comm):
+        total = yield from comm.allreduce(comm.rank + 1, op="sum")
+        yield from comm.barrier()
+        return total
+
+    result = MPIJob(xt4("VN"), ntasks=8).run(rank_main)
+    print(
+        f"8-rank allreduce on XT4-VN: result={result.returns[0]}, "
+        f"simulated time {result.elapsed_s * 1e6:.1f} us"
+    )
+
+
+if __name__ == "__main__":
+    main()

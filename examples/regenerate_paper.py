@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper and validate the shapes.
+
+Writes one CSV per artifact into ``results/`` and prints a pass/fail
+summary of each artifact's shape checks (the paper's qualitative claims).
+
+Run:  python examples/regenerate_paper.py [output_dir]
+"""
+
+import importlib
+import pathlib
+import sys
+
+from repro.core import all_experiments, get_experiment
+from repro.core.report import render_csv, render_result
+
+
+def main(out_dir: str = "results") -> int:
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for exp_id in all_experiments():
+        driver = get_experiment(exp_id)
+        result = driver()
+        (out / f"{exp_id}.csv").write_text(render_csv(result))
+        (out / f"{exp_id}.txt").write_text(render_result(result))
+        module = importlib.import_module(driver.__module__)
+        check = module.shape_checks(result)
+        n_pass = sum(1 for c in check.checks if c.passed)
+        status = "PASS" if check.passed else "FAIL"
+        print(f"[{status}] {exp_id:10s} {n_pass}/{len(check.checks)} checks — {result.title}")
+        if not check.passed:
+            failures += 1
+            for f in check.failures:
+                print(f"        {f}")
+    print(f"\nwrote {len(all_experiments())} artifacts to {out}/")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "results"))

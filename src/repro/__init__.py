@@ -1,0 +1,34 @@
+"""repro — a simulation-based reproduction of the SC'07 Cray XT4 evaluation.
+
+The package provides, from the bottom up:
+
+* :mod:`repro.simengine` — a deterministic discrete-event simulation kernel.
+* :mod:`repro.machine`   — processor / memory / node models and the XT3,
+  dual-core XT3 and XT4 machine configurations, plus analytic models of the
+  comparison platforms (Cray X1E, Earth Simulator, IBM p690/p575/SP).
+* :mod:`repro.network`   — the SeaStar/SeaStar2 3D-torus interconnect model.
+* :mod:`repro.mpi`       — a simulated MPI (mpi4py-flavoured API) running on
+  the simulation kernel, with cost-modelled collectives.
+* :mod:`repro.kernels`   — real numerical kernels (DGEMM, FFT, STREAM,
+  RandomAccess, high-order stencils, CG and Chronopoulos–Gear, …).
+* :mod:`repro.hpcc`      — the HPC Challenge benchmark suite on the
+  simulated machine.
+* :mod:`repro.lustre`    — an object-based parallel-filesystem simulator.
+* :mod:`repro.apps`      — proxies and performance models for the paper's
+  five applications: CAM, POP, NAMD, S3D and AORSA.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.core`      — the experiment framework (metrics, runners,
+  reports, figure-shape validation).
+
+Quick start::
+
+    from repro.machine import xt4
+    from repro.hpcc import PingPong
+
+    result = PingPong(xt4(mode="SN")).run()
+    print(result.latency_us, result.bandwidth_GBs)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

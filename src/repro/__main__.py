@@ -1,0 +1,135 @@
+"""Command-line interface: list, run and export the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig08 [--plot] [--logx]
+    python -m repro all [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.core import all_experiments, get_experiment
+from repro.core.report import render_ascii_plot, render_csv, render_result
+
+
+def _shape_check(driver, result):
+    module = importlib.import_module(driver.__module__)
+    return module.shape_checks(result)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id in all_experiments():
+        result = get_experiment(exp_id)()
+        print(f"{exp_id:14s} {result.title}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    driver = get_experiment(args.exp_id)
+    result = driver()
+    print(render_result(result))
+    if args.plot:
+        print(render_ascii_plot(result, logx=args.logx))
+    check = _shape_check(driver, result)
+    print(check.summary())
+    return 0 if check.passed else 1
+
+
+def cmd_machine(args: argparse.Namespace) -> int:
+    from repro.core.report import render_table
+    from repro.machine.calibration import audit
+    from repro.machine.configs import (
+        xt3,
+        xt3_dc,
+        xt3_xt4_combined,
+        xt4,
+        xt4_quadcore,
+    )
+    from repro.machine.io import load_machine, save_machine
+
+    factories = {
+        "xt3": xt3,
+        "xt3-dc": xt3_dc,
+        "xt4": xt4,
+        "xt4-qc": xt4_quadcore,
+        "xt3/4": xt3_xt4_combined,
+    }
+    if args.load:
+        machine = load_machine(args.load)
+    else:
+        try:
+            machine = factories[args.name.lower()](args.mode)
+        except KeyError:
+            print(f"unknown machine {args.name!r}; choose from {sorted(factories)}")
+            return 2
+    from repro.core.analysis import balance_table
+    from repro.hpcc import HPCCSuite
+
+    print(render_table(balance_table([machine]), title=str(machine)))
+    metrics = HPCCSuite(machine).all_metrics()
+    print(render_table([{"metric": k, "value": round(v, 4)} for k, v in metrics.items()]))
+    if args.audit:
+        print(render_table(audit(), title="calibration register"))
+    if args.save:
+        save_machine(machine, args.save)
+        print(f"wrote {args.save}")
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for exp_id in all_experiments():
+        driver = get_experiment(exp_id)
+        result = driver()
+        (out / f"{exp_id}.csv").write_text(render_csv(result))
+        check = _shape_check(driver, result)
+        status = "PASS" if check.passed else "FAIL"
+        if not check.passed:
+            failures += 1
+        print(f"[{status}] {exp_id}")
+    print(f"wrote {len(all_experiments())} CSVs to {out}/")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SC'07 Cray XT4 evaluation's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id", help="artifact id, e.g. fig08")
+    p_run.add_argument("--plot", action="store_true", help="ASCII plot")
+    p_run.add_argument("--logx", action="store_true", help="log-scale x")
+    p_all = sub.add_parser("all", help="run everything, write CSVs")
+    p_all.add_argument("--out", default="results", help="output directory")
+    p_mach = sub.add_parser("machine", help="inspect or export a machine config")
+    p_mach.add_argument("name", nargs="?", default="xt4",
+                        help="xt3 | xt3-dc | xt4 | xt4-qc | xt3/4")
+    p_mach.add_argument("--mode", default="SN", help="SN or VN")
+    p_mach.add_argument("--save", help="write the config as JSON")
+    p_mach.add_argument("--load", help="load a JSON config instead of a name")
+    p_mach.add_argument("--audit", action="store_true",
+                        help="print the calibration register")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "machine":
+        return cmd_machine(args)
+    return cmd_all(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

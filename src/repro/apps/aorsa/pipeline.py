@@ -1,0 +1,64 @@
+"""AORSA end to end at mini scale: spectral assembly → distributed solve.
+
+Chains the real pieces the model prices: assemble the dense complex
+mode-coupling system with the from-scratch FFT
+(:class:`~repro.apps.aorsa.spectral.SpectralProblem`), solve it with the
+block-cyclic distributed LU on the simulated MPI
+(:class:`~repro.hpcc.hpl_distributed.DistributedLU`), and evaluate a
+quasi-linear-operator proxy from the solved field. The full pipeline is
+verified against the serial spectral solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.aorsa.spectral import SpectralProblem
+from repro.hpcc.hpl_distributed import DistributedLU
+from repro.kernels.fft import fft, ifft
+from repro.machine.specs import Machine
+from repro.mpi.job import JobResult
+
+
+@dataclass
+class AORSAPipeline:
+    """Miniature AORSA run on ``ntasks`` simulated ranks."""
+
+    machine: Machine
+    ntasks: int
+    nmodes: int = 32
+    block: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nmodes % self.block:
+            raise ValueError("nmodes must be a multiple of the LU block size")
+
+    def run(self) -> Tuple[np.ndarray, float, JobResult]:
+        """Returns ``(field E(x), residual, solver JobResult)``."""
+        problem = SpectralProblem(self.nmodes)
+        a = problem.assemble()
+        shat = fft(problem.source()) / self.nmodes
+        solver = DistributedLU(self.machine, self.ntasks, block=self.block)
+        ehat, job = solver.solve(a, shat)
+        field = ifft(ehat * self.nmodes)
+        return field, problem.residual(field), job
+
+    def ql_operator(self, field: np.ndarray) -> np.ndarray:
+        """Quasi-linear diffusion proxy: |E|²-weighted spectral density.
+
+        The physical QL operator is quadratic in the solved field; this
+        proxy keeps that structure (|Ê_m|² per mode, smoothed) so the
+        pipeline has a real post-solve compute stage to validate.
+        """
+        ehat = fft(np.asarray(field, dtype=complex)) / field.size
+        power = np.abs(ehat) ** 2
+        kernel = np.array([0.25, 0.5, 0.25])
+        smoothed = (
+            kernel[0] * np.roll(power, 1)
+            + kernel[1] * power
+            + kernel[2] * np.roll(power, -1)
+        )
+        return smoothed

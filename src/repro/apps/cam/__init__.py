@@ -1,0 +1,27 @@
+"""CAM — Community Atmosphere Model (paper §6.1).
+
+The D-grid benchmark: the finite-volume dycore on a 361×576 horizontal
+grid with 26 levels. :class:`~repro.apps.cam.model.CAMModel` reproduces
+Figures 14–16; :mod:`~repro.apps.cam.dycore` is a real finite-volume
+advection mini-dycore runnable on the simulated MPI.
+"""
+
+from repro.apps.cam.decomp import D_GRID, CAMDecomposition, CAMGrid, decompose
+from repro.apps.cam.dycore import MiniDycore
+from repro.apps.cam.model import CAMModel, best_configuration
+from repro.apps.cam.physics import PhysicsProxy
+from repro.apps.cam.minicam import MiniCAM
+from repro.apps.cam.remap import RemapStudy
+
+__all__ = [
+    "CAMDecomposition",
+    "CAMGrid",
+    "CAMModel",
+    "D_GRID",
+    "MiniCAM",
+    "MiniDycore",
+    "PhysicsProxy",
+    "RemapStudy",
+    "best_configuration",
+    "decompose",
+]

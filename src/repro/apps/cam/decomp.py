@@ -1,0 +1,141 @@
+"""CAM FV-dycore domain decompositions (paper §6.1).
+
+The FV dycore supports a 1D latitude decomposition and a 2D decomposition
+that is latitude×longitude in one dynamics phase and latitude×vertical in
+the other, connected by two remaps per timestep. Constraints from the
+paper:
+
+* 1D: at least **3 latitudes** per task → ≤ 120 tasks on the D-grid;
+* 2D: at least 3 latitudes and **3 vertical levels** per task →
+  ≤ 120 × 8 = 960 tasks (26 levels / 3 → 8 vertical blocks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class CAMGrid:
+    """A CAM horizontal/vertical resolution."""
+
+    name: str
+    nlat: int
+    nlon: int
+    nlev: int
+
+    @property
+    def columns(self) -> int:
+        return self.nlat * self.nlon
+
+    @property
+    def cells(self) -> int:
+        return self.columns * self.nlev
+
+
+#: The paper's benchmark resolution ("D-grid"): 361×576 × 26 levels.
+D_GRID = CAMGrid(name="D", nlat=361, nlon=576, nlev=26)
+
+#: Minimum latitudes / vertical levels per MPI task (paper §6.1).
+MIN_LATS_PER_TASK = 3
+MIN_LEVS_PER_TASK = 3
+
+
+@dataclass(frozen=True)
+class CAMDecomposition:
+    """A chosen decomposition for ``ntasks`` tasks on ``grid``."""
+
+    grid: CAMGrid
+    ntasks: int
+    kind: str  # "1d" or "2d"
+    nlat_tasks: int
+    nlev_tasks: int
+
+    # -- block shapes (ceil: the largest block paces the step) -------------
+    @property
+    def lats_per_task(self) -> int:
+        return math.ceil(self.grid.nlat / self.nlat_tasks)
+
+    @property
+    def levs_per_task(self) -> int:
+        return math.ceil(self.grid.nlev / self.nlev_tasks)
+
+    @property
+    def dyn_block_cells(self) -> int:
+        """Cells of the pacing (largest) dynamics block."""
+        return self.lats_per_task * self.grid.nlon * self.levs_per_task
+
+    @property
+    def phys_block_columns(self) -> int:
+        """Columns of the pacing physics chunk (physics balances freely)."""
+        return math.ceil(self.grid.columns / self.ntasks)
+
+    @property
+    def dyn_imbalance(self) -> float:
+        """Pacing block over the perfectly balanced share."""
+        ideal = self.grid.cells / self.ntasks
+        return self.dyn_block_cells / ideal
+
+    @property
+    def remaps_per_step(self) -> int:
+        """Domain-decomposition remaps per dynamics step (2D only)."""
+        return 2 if self.kind == "2d" else 0
+
+    def halo_bytes(self, ghost_lats: int = 3, fields: int = 4) -> int:
+        """Ghost-exchange bytes per dynamics step per neighbour."""
+        return ghost_lats * self.grid.nlon * self.levs_per_task * 8 * fields
+
+
+def max_tasks(grid: CAMGrid) -> int:
+    """Largest supported MPI task count (the 2D limit; 960 on the D-grid)."""
+    return (grid.nlat // MIN_LATS_PER_TASK) * (grid.nlev // MIN_LEVS_PER_TASK)
+
+
+def _candidate_2d(grid: CAMGrid, ntasks: int) -> Optional[CAMDecomposition]:
+    """Best 2D factorization ntasks = nlat_tasks × nlev_tasks."""
+    max_lat = grid.nlat // MIN_LATS_PER_TASK
+    max_lev = grid.nlev // MIN_LEVS_PER_TASK
+    best: Optional[CAMDecomposition] = None
+    for nlev_tasks in range(1, max_lev + 1):
+        if ntasks % nlev_tasks:
+            continue
+        nlat_tasks = ntasks // nlev_tasks
+        if nlat_tasks > max_lat:
+            continue
+        cand = CAMDecomposition(grid, ntasks, "2d", nlat_tasks, nlev_tasks)
+        if best is None or cand.dyn_block_cells < best.dyn_block_cells:
+            best = cand
+    return best
+
+
+def decompose(grid: CAMGrid, ntasks: int) -> CAMDecomposition:
+    """Pick the fastest legal decomposition for ``ntasks`` tasks.
+
+    1D wins at small task counts (no remaps); beyond 120 tasks only 2D is
+    legal. Mirrors the paper's practice of optimizing over virtual
+    processor grids.
+    """
+    if ntasks < 1:
+        raise ValueError("ntasks must be >= 1")
+    if ntasks > max_tasks(grid):
+        raise ValueError(
+            f"{ntasks} tasks exceed the {grid.name}-grid limit {max_tasks(grid)}"
+        )
+    candidates: List[CAMDecomposition] = []
+    if ntasks <= grid.nlat // MIN_LATS_PER_TASK:
+        candidates.append(CAMDecomposition(grid, ntasks, "1d", ntasks, 1))
+    c2d = _candidate_2d(grid, ntasks)
+    if c2d is not None:
+        candidates.append(c2d)
+    if not candidates:
+        raise ValueError(
+            f"no legal decomposition for {ntasks} tasks on the {grid.name}-grid"
+        )
+    # Prefer 1D when legal (paper: faster at small counts — no remaps);
+    # otherwise smallest pacing block.
+    for c in candidates:
+        if c.kind == "1d":
+            return c
+    return min(candidates, key=lambda c: c.dyn_block_cells)

@@ -1,0 +1,124 @@
+"""A real finite-volume advection mini-dycore.
+
+CAM's FV dycore advances the flow with conservative finite-volume
+operators (Lin 2004). This mini-dycore keeps the essential numerics — a
+conservative donor-cell (upwind) flux-form advection of a tracer on a
+periodic lat×lon grid — and the essential parallel structure: a 1D
+latitude decomposition with single-row ghost exchanges. Tests verify
+conservation, monotonicity for constant fields, and serial/distributed
+agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.machine.specs import Machine
+from repro.mpi.job import MPIJob
+
+
+@dataclass
+class MiniDycore:
+    """Donor-cell advection of a tracer ``q`` by constant winds (u, v)."""
+
+    nlat: int
+    nlon: int
+    u: float = 1.0  # zonal wind (cells/step × dx/dt units folded in)
+    v: float = 0.5  # meridional wind
+    dt: float = 0.2
+    dx: float = 1.0
+    dy: float = 1.0
+
+    def __post_init__(self) -> None:
+        cx = abs(self.u) * self.dt / self.dx
+        cy = abs(self.v) * self.dt / self.dy
+        if cx + cy > 1.0 + 1e-12:
+            raise ValueError(f"CFL violation: {cx + cy:.3f} > 1")
+
+    # -- serial reference ---------------------------------------------------
+    def step_serial(self, q: np.ndarray) -> np.ndarray:
+        """One conservative upwind step on the full (nlat, nlon) field."""
+        if q.shape != (self.nlat, self.nlon):
+            raise ValueError(f"field shape {q.shape} != {(self.nlat, self.nlon)}")
+        return self._step_interior(np.vstack([q[-1:], q, q[:1]]))
+
+    def _step_interior(self, qg: np.ndarray) -> np.ndarray:
+        """Advance the interior rows of a ghosted (rows+2, nlon) block.
+
+        Donor-cell fluxes: the upwind cell supplies each face's flux, so
+        the update telescopes and conserves ∑q exactly on periodic domains.
+        """
+        u, v = self.u, self.v
+        lam_x = self.dt / self.dx
+        lam_y = self.dt / self.dy
+        q = qg[1:-1]
+        # Zonal fluxes (periodic in longitude within each row).
+        if u >= 0:
+            fe = u * q  # east-face flux of each cell
+            fw = np.roll(fe, 1, axis=1)
+        else:
+            fe = u * np.roll(q, -1, axis=1)
+            fw = u * q
+        # Meridional fluxes: ghost rows supply the boundary donors.
+        if v >= 0:
+            gn = v * q  # north-face flux (donor = this cell)
+            gs = v * qg[0:-2]  # south-face flux (donor = southern neighbour)
+        else:
+            gn = v * qg[2:]  # donor = northern neighbour
+            gs = v * q
+        return q - lam_x * (fe - fw) - lam_y * (gn - gs)
+
+    def run_serial(self, q0: np.ndarray, nsteps: int) -> np.ndarray:
+        q = np.array(q0, dtype=float, copy=True)
+        for _ in range(nsteps):
+            q = self.step_serial(q)
+        return q
+
+    # -- distributed ----------------------------------------------------------
+    def run_distributed(
+        self,
+        machine: Machine,
+        ntasks: int,
+        q0: np.ndarray,
+        nsteps: int,
+    ):
+        """Run on the simulated MPI with a latitude decomposition.
+
+        Returns ``(final_field, JobResult)``; the field equals the serial
+        result bit-for-bit (same arithmetic, different layout).
+        """
+        if self.nlat % ntasks:
+            raise ValueError("nlat must divide evenly among tasks")
+        rows = self.nlat // ntasks
+        if rows < 1:
+            raise ValueError("at least one latitude row per task")
+        dycore = self
+
+        def main(comm):
+            lo = comm.rank * rows
+            block = np.array(q0[lo : lo + rows], dtype=float, copy=True)
+            north = (comm.rank + 1) % comm.size
+            south = (comm.rank - 1) % comm.size
+            for step in range(nsteps):
+                # Exchange single ghost rows with both neighbours.
+                s_ghost = yield from comm.sendrecv(
+                    block[-1].copy(), dest=north, source=south, tag=2 * step
+                )
+                n_ghost = yield from comm.sendrecv(
+                    block[0].copy(), dest=south, source=north, tag=2 * step + 1
+                )
+                qg = np.vstack([s_ghost[None, :], block, n_ghost[None, :]])
+                # Charge the FV update's flops (≈15 per cell per step).
+                yield from comm.compute(15.0 * block.size, profile="dgemm")
+                block = dycore._step_interior(qg)
+            gathered = yield from comm.gather(block, root=0)
+            if comm.rank == 0:
+                return np.vstack(gathered)
+            return None
+
+        job = MPIJob(machine, ntasks)
+        result = job.run(main)
+        return result.returns[0], result

@@ -1,0 +1,125 @@
+"""A particle-mesh Ewald (PME) proxy on the simulated MPI.
+
+NAMD's long-range electrostatics solve a Poisson problem on a regular
+grid via FFTs — "the scaling for 1M atom system is restricted by the
+size of underlying FFT grid computations" (paper §6.3). The proxy is a
+real slab-decomposed spectral Poisson solver: spread charges to a
+periodic mesh, row-FFT on the owning slabs, alltoall transpose,
+column-FFT, multiply by the Green's function, and invert — the exact
+communication structure whose latency wall limits NAMD's 1M-atom system
+near 8k tasks. Validated against a dense ``numpy.fft`` reference.
+
+2D for economy; the pipeline is dimension-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.fft import fft, fft_flops, ifft
+from repro.machine.specs import Machine
+from repro.mpi.job import JobResult, MPIJob
+
+
+def spread_charges(
+    positions: np.ndarray, charges: np.ndarray, grid: int, box: float
+) -> np.ndarray:
+    """Nearest-grid-point charge assignment onto a periodic ``grid²`` mesh."""
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must be (n, 2)")
+    if charges.shape != (positions.shape[0],):
+        raise ValueError("one charge per particle")
+    rho = np.zeros((grid, grid))
+    idx = np.floor(positions / box * grid).astype(int) % grid
+    np.add.at(rho, (idx[:, 0], idx[:, 1]), charges)
+    return rho
+
+
+@dataclass
+class PMEProxy:
+    """Slab-decomposed reciprocal-space Poisson solve: ∇²φ = −ρ."""
+
+    machine: Machine
+    ntasks: int
+    grid: int = 16
+    box: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.grid < 4 or self.grid & (self.grid - 1):
+            raise ValueError("grid must be a power of two >= 4")
+        if self.grid % self.ntasks:
+            raise ValueError("grid must divide evenly among tasks")
+
+    def _greens(self) -> np.ndarray:
+        """1/k² with the k=0 mode zeroed (neutralizing background)."""
+        k = 2.0 * np.pi * np.fft.fftfreq(self.grid, d=self.box / self.grid)
+        k2 = k[:, None] ** 2 + k[None, :] ** 2
+        g = np.zeros_like(k2)
+        nz = k2 != 0
+        g[nz] = 1.0 / k2[nz]
+        return g
+
+    def solve(self, rho: np.ndarray) -> Tuple[np.ndarray, float, JobResult]:
+        """Returns ``(potential, reciprocal energy, JobResult)``."""
+        if rho.shape != (self.grid, self.grid):
+            raise ValueError("density grid shape mismatch")
+        g = self.grid
+        p = self.ntasks
+        slab = g // p
+        greens = self._greens()
+
+        def transpose(comm, block):
+            pieces = np.array_split(block, comm.size, axis=1)
+            got = yield from comm.alltoall(
+                [np.ascontiguousarray(x) for x in pieces]
+            )
+            return np.hstack([x.T for x in got])
+
+        def main(comm):
+            r = comm.rank
+            block = np.array(rho[r * slab : (r + 1) * slab], dtype=complex)
+            # Forward: row FFTs on my slab.
+            yield from comm.compute(slab * fft_flops(g), profile="fft")
+            block = np.vstack([fft(row) for row in block])
+            # Transpose so I own columns, FFT those.
+            block = yield from transpose(comm, block)
+            yield from comm.compute(slab * fft_flops(g), profile="fft")
+            block = np.vstack([fft(row) for row in block])
+            # block[i] is column (r*slab + i) of rho_hat: rho_hat[:, c].T
+            cols = slice(r * slab, (r + 1) * slab)
+            gpart = greens[:, cols].T
+            local_energy = 0.5 * float(
+                np.sum(np.abs(block) ** 2 * gpart)
+            ) / g**2
+            energy = yield from comm.allreduce(local_energy, op="sum")
+            phi_hat_t = block * gpart
+            # Inverse: column ifft (still transposed), transpose, row ifft.
+            yield from comm.compute(slab * fft_flops(g), profile="fft")
+            phi_hat_t = np.vstack([ifft(row) for row in phi_hat_t])
+            phi_block = yield from transpose(comm, phi_hat_t)
+            yield from comm.compute(slab * fft_flops(g), profile="fft")
+            phi_block = np.vstack([ifft(row) for row in phi_block])
+            gathered = yield from comm.gather(phi_block, root=0)
+            if comm.rank == 0:
+                return np.vstack(gathered).real, energy
+            return None, energy
+
+        job = MPIJob(self.machine, p)
+        result = job.run(main)
+        phi, energy = result.returns[0]
+        return phi, energy, result
+
+    def reference_potential(self, rho: np.ndarray) -> np.ndarray:
+        """Dense numpy.fft reference solution of the same Poisson problem."""
+        rho_hat = np.fft.fft2(rho)
+        phi_hat = rho_hat * self._greens()
+        return np.fft.ifft2(phi_hat).real
+
+    def reference_energy(self, rho: np.ndarray) -> float:
+        rho_hat = np.fft.fft2(rho)
+        return 0.5 * float(
+            np.sum(np.abs(rho_hat) ** 2 * self._greens())
+        ) / self.grid**2

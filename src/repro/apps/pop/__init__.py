@@ -1,0 +1,25 @@
+"""POP — Parallel Ocean Program (paper §6.2).
+
+The 0.1° benchmark: a 3600×2400×40 displaced-pole grid. POP's time is a
+well-scaling 3D **baroclinic** phase (nearest-neighbour halo exchanges)
+plus a latency-bound 2D **barotropic** phase (conjugate-gradient solve
+with MPI_Allreduce inner products). :mod:`~repro.apps.pop.barotropic`
+contains a real distributed CG — standard and Chronopoulos–Gear — on the
+simulated MPI.
+"""
+
+from repro.apps.pop.baroclinic import BaroclinicStep
+from repro.apps.pop.barotropic import DistributedCG
+from repro.apps.pop.minipop import MiniPOP
+from repro.apps.pop.grid import POP_01_GRID, POPDecomposition, POPGrid
+from repro.apps.pop.model import POPModel
+
+__all__ = [
+    "BaroclinicStep",
+    "DistributedCG",
+    "MiniPOP",
+    "POP_01_GRID",
+    "POPDecomposition",
+    "POPGrid",
+    "POPModel",
+]

@@ -1,0 +1,82 @@
+"""POP grid and 2D block decomposition."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class POPGrid:
+    """A POP resolution (displaced-pole logically-rectangular grid)."""
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+
+    @property
+    def columns(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def points(self) -> int:
+        return self.columns * self.nz
+
+
+#: The paper's 0.1-degree benchmark: 3600×2400 horizontal, 40 levels.
+POP_01_GRID = POPGrid(name="0.1", nx=3600, ny=2400, nz=40)
+
+
+@dataclass(frozen=True)
+class POPDecomposition:
+    """2D block decomposition of the horizontal grid over ``ntasks``."""
+
+    grid: POPGrid
+    ntasks: int
+    px: int
+    py: int
+
+    @property
+    def block_nx(self) -> int:
+        return math.ceil(self.grid.nx / self.px)
+
+    @property
+    def block_ny(self) -> int:
+        return math.ceil(self.grid.ny / self.py)
+
+    @property
+    def block_columns(self) -> int:
+        return self.block_nx * self.block_ny
+
+    @property
+    def block_points(self) -> int:
+        return self.block_columns * self.grid.nz
+
+    @property
+    def halo_perimeter(self) -> int:
+        """Boundary points of one block (single-wide halo)."""
+        return 2 * (self.block_nx + self.block_ny)
+
+
+def decompose(grid: POPGrid, ntasks: int) -> POPDecomposition:
+    """Near-square factorization px×py ≥ ntasks matching the grid aspect."""
+    if ntasks < 1:
+        raise ValueError("ntasks must be >= 1")
+    if ntasks > grid.columns // 16:
+        raise ValueError(
+            f"{ntasks} tasks leave blocks below 4x4 points on {grid.name}"
+        )
+    aspect = grid.nx / grid.ny
+    best = None
+    for py in range(1, ntasks + 1):
+        if ntasks % py:
+            continue
+        px = ntasks // py
+        # Prefer block aspect ratios near the grid's.
+        score = abs(math.log((px / py) / aspect))
+        if best is None or score < best[0]:
+            best = (score, px, py)
+    assert best is not None
+    _, px, py = best
+    return POPDecomposition(grid, ntasks, px, py)

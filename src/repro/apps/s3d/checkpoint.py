@@ -1,0 +1,90 @@
+"""S3D checkpoint I/O on the simulated Lustre filesystem.
+
+The paper's application benchmarks explicitly ignore I/O (§6), but a
+production S3D run checkpoints its full state regularly — and the paper
+describes the Lustre stack those checkpoints hit (§2, Fig. 1). This
+module sizes an S3D restart file (13 conserved variables per point:
+density, momentum, energy, and a skeletal CO/H2 species set, §6.4) and
+writes it through :mod:`repro.lustre` in either parallel I/O pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.lustre.client import LustreClient
+from repro.lustre.filesystem import LustreConfig, LustreFilesystem
+from repro.simengine import AllOf, Simulator
+
+#: Conserved variables per grid point in the restart file.
+STATE_VARIABLES = 13
+
+
+@dataclass
+class CheckpointStudy:
+    """Checkpoint one S3D timestep's state for ``ntasks`` writers."""
+
+    ntasks: int
+    points_per_task: int = 50**3
+    config: Optional[LustreConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+
+    @property
+    def bytes_per_task(self) -> int:
+        return self.points_per_task * STATE_VARIABLES * 8
+
+    def write_time_s(self, pattern: str = "file-per-process") -> Tuple[float, float]:
+        """Simulated ``(total_seconds, metadata_seconds)`` for one checkpoint."""
+        if pattern not in ("file-per-process", "single-shared-file"):
+            raise ValueError(f"unknown pattern {pattern!r}")
+        sim = Simulator()
+        fs = LustreFilesystem(sim, self.config)
+        clients = [LustreClient(fs, i) for i in range(self.ntasks)]
+        meta_done = [0.0]
+        shared = {}
+
+        def creator():
+            f = yield from clients[0].create(
+                "s3d.restart", stripe_count=fs.config.total_osts
+            )
+            shared["f"] = f
+            meta_done[0] = sim.now
+
+        def writer_fpp(c: LustreClient):
+            f = yield from c.create(f"s3d.restart.{c.client_id}")
+            meta_done[0] = max(meta_done[0], sim.now)
+            yield from c.write(f, 0, self.bytes_per_task)
+
+        def writer_ssf(c: LustreClient, creator_proc):
+            yield creator_proc.done
+            yield from c.write(
+                shared["f"], c.client_id * self.bytes_per_task, self.bytes_per_task
+            )
+
+        if pattern == "file-per-process":
+            procs = [sim.spawn(writer_fpp(c)) for c in clients]
+        else:
+            cp = sim.spawn(creator())
+            procs = [sim.spawn(writer_ssf(c, cp)) for c in clients]
+
+        def waiter():
+            yield AllOf(procs)
+
+        sim.spawn(waiter())
+        sim.run()
+        return sim.now, meta_done[0]
+
+    def checkpoint_overhead_fraction(
+        self, step_seconds: float, steps_between_checkpoints: int,
+        pattern: str = "file-per-process",
+    ) -> float:
+        """Fraction of wall time a production run spends checkpointing."""
+        if step_seconds <= 0 or steps_between_checkpoints < 1:
+            raise ValueError("invalid cadence")
+        write_s, _ = self.write_time_s(pattern)
+        window = step_seconds * steps_between_checkpoints
+        return write_s / (window + write_s)

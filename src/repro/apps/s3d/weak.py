@@ -1,0 +1,48 @@
+"""Executable weak-scaling companion to the S3D model (Figure 22).
+
+Runs the real DNS proxy (:class:`~repro.apps.s3d.solver.MiniDNS`) at a
+fixed per-task block size across task counts on the discrete-event MPI
+and reports the figure's metric — cost per grid point per timestep —
+measured from execution rather than evaluated from the model. At mini
+scale the same two observations hold: weak scaling is nearly flat
+(nearest-neighbour ghosts only) and VN mode costs more per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.apps.s3d.solver import MiniDNS
+from repro.machine.specs import Machine
+
+
+@dataclass
+class S3DWeakScalingRun:
+    """DES weak-scaling sweep with ``rows_per_task × nx`` points per task."""
+
+    machine: Machine
+    rows_per_task: int = 8
+    nx: int = 16
+    nsteps: int = 1
+    dt: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.rows_per_task < 8:
+            raise ValueError("need >= 8 rows per task (ghost depth)")
+
+    def cost_per_point_us(self, ntasks: int) -> float:
+        """Measured µs per grid point per timestep for one job size."""
+        ny = self.rows_per_task * ntasks
+        dns = MiniDNS(nx=self.nx, ny=ny)
+        x = np.linspace(0, 2 * np.pi, self.nx, endpoint=False)
+        y = np.linspace(0, 2 * np.pi, ny, endpoint=False)
+        q0 = np.sin(y)[:, None] + np.cos(x)[None, :]
+        _, job = dns.run_distributed(self.machine, ntasks, q0, self.dt, self.nsteps)
+        points_per_task = self.rows_per_task * self.nx
+        return job.elapsed_s / points_per_task / self.nsteps * 1.0e6
+
+    def sweep(self, task_counts: Sequence[int]) -> List[float]:
+        return [self.cost_per_point_us(p) for p in task_counts]

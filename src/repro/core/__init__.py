@@ -1,0 +1,40 @@
+"""Experiment framework: metrics, results, reports, shape validation.
+
+This is the paper's methodology (§4) expressed as a library: micro-
+benchmarks and applications are *experiments* producing
+:class:`~repro.core.experiment.ExperimentResult` objects (series keyed the
+way the paper's figures are), rendered by :mod:`~repro.core.report` and
+checked against the paper's qualitative claims by
+:mod:`~repro.core.validate`.
+"""
+
+from repro.core.experiment import ExperimentResult, Series
+from repro.core.metrics import (
+    GBs,
+    GFLOPS,
+    GUPS,
+    TFLOPS,
+    format_quantity,
+    us,
+)
+from repro.core.registry import all_experiments, get_experiment, register
+from repro.core.report import render_csv, render_table
+from repro.core.validate import ShapeCheck, ShapeCheckFailure
+
+__all__ = [
+    "ExperimentResult",
+    "GBs",
+    "GFLOPS",
+    "GUPS",
+    "Series",
+    "ShapeCheck",
+    "ShapeCheckFailure",
+    "TFLOPS",
+    "all_experiments",
+    "format_quantity",
+    "get_experiment",
+    "register",
+    "render_csv",
+    "render_table",
+    "us",
+]

@@ -1,0 +1,115 @@
+"""Machine-balance analysis — the paper's analytical frame as a library.
+
+The paper's thesis is that petascale suitability "will depend on balance
+among memory, processor, I/O, and local and global network performance".
+These helpers quantify that balance for any :class:`Machine`: roofline
+rates, the arithmetic-intensity crossover where a socket stops being
+memory-bound, and cross-machine balance tables like the one implicit in
+the paper's §7 discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.machine.memorymodel import MemoryModel
+from repro.machine.specs import Machine
+from repro.network.model import NetworkModel
+
+
+def roofline_rate_gflops(
+    machine: Machine, flops_per_byte: float, active_cores: int = 1
+) -> float:
+    """Achievable GF/s per core at a given arithmetic intensity.
+
+    Uses the same serial-roofline form as the kernel models: compute at
+    full efficiency plus memory traffic at the contended per-core rate.
+    """
+    if flops_per_byte <= 0:
+        raise ValueError("flops_per_byte must be positive")
+    mem = MemoryModel(machine.node.memory, machine.node.cores)
+    peak = machine.node.processor.peak_gflops_per_core
+    bw = mem.per_core_bandwidth_GBs(active_cores)
+    seconds_per_gflop = 1.0 / peak + (1.0 / flops_per_byte) / bw
+    return 1.0 / seconds_per_gflop
+
+
+def memory_crossover_intensity(machine: Machine, active_cores: int = 1) -> float:
+    """Flops/byte above which the core is compute- rather than memory-bound.
+
+    The classical roofline ridge point: peak flops over the per-core
+    memory bandwidth. With two active cores the ridge moves right —
+    the quantitative form of the paper's "a single core can essentially
+    saturate the off-socket memory bandwidth".
+    """
+    mem = MemoryModel(machine.node.memory, machine.node.cores)
+    peak = machine.node.processor.peak_gflops_per_core
+    return peak / mem.per_core_bandwidth_GBs(active_cores)
+
+
+def machine_balance(machine: Machine) -> Dict[str, float]:
+    """The balance ratios the paper's discussion turns on."""
+    proc = machine.node.processor
+    mem = machine.node.memory
+    nic = machine.node.nic
+    peak_socket = proc.peak_gflops_per_socket
+    return {
+        "peak_gflops_per_socket": peak_socket,
+        "memory_bw_GBs": mem.peak_bw_GBs,
+        "memory_bytes_per_flop": mem.peak_bw_GBs / peak_socket,
+        "injection_bw_GBs": nic.injection_bw_GBs,
+        "network_bytes_per_flop": nic.injection_bw_GBs / peak_socket,
+        # Flops a core could have retired while one message's latency
+        # elapses: the "cost of a message" in compute currency.
+        "flops_per_message_latency": nic.mpi_latency_us
+        * 1.0e-6
+        * proc.peak_gflops_per_core
+        * 1.0e9,
+        "memory_crossover_flops_per_byte_1core": memory_crossover_intensity(
+            machine, 1
+        ),
+        "memory_crossover_flops_per_byte_all_cores": memory_crossover_intensity(
+            machine, machine.node.cores
+        ),
+    }
+
+
+def balance_table(machines: Sequence[Machine]) -> List[dict]:
+    """Cross-machine balance comparison rows (for render_table)."""
+    rows = []
+    for m in machines:
+        b = machine_balance(m)
+        rows.append(
+            {
+                "system": m.name,
+                "GF/socket": round(b["peak_gflops_per_socket"], 1),
+                "mem B/flop": round(b["memory_bytes_per_flop"], 3),
+                "net B/flop": round(b["network_bytes_per_flop"], 3),
+                "flops per msg latency": int(b["flops_per_message_latency"]),
+                "ridge 1 core (F/B)": round(
+                    b["memory_crossover_flops_per_byte_1core"], 2
+                ),
+                "ridge all cores (F/B)": round(
+                    b["memory_crossover_flops_per_byte_all_cores"], 2
+                ),
+            }
+        )
+    return rows
+
+
+def communication_compute_ratio(
+    machine: Machine, ntasks: int, flops_per_task: float, bytes_per_task: float
+) -> float:
+    """Time-in-network over time-in-compute for a per-step workload.
+
+    A quick screening tool: > 1 means the network paces the application
+    on this machine at this scale.
+    """
+    if flops_per_task <= 0:
+        raise ValueError("flops_per_task must be positive")
+    net = NetworkModel(machine)
+    from repro.machine.processor import CoreModel
+
+    compute_s = flops_per_task / (CoreModel(machine).rate_gflops("hpl") * 1.0e9)
+    comm_s = net.pt2pt_time_s(bytes_per_task)
+    return comm_s / compute_s

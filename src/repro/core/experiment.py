@@ -1,0 +1,65 @@
+"""Experiment result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a label and matching x/y vectors."""
+
+    label: str
+    x: List[Any]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs {len(self.y)} y"
+            )
+
+    def value_at(self, x: Any) -> float:
+        """The y value at an exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError as exc:
+            raise KeyError(f"x={x!r} not sampled in series {self.label!r}") from exc
+
+    @property
+    def last(self) -> float:
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        return self.y[-1]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated content of one paper table or figure."""
+
+    exp_id: str
+    title: str
+    xlabel: str = ""
+    ylabel: str = ""
+    series: List[Series] = field(default_factory=list)
+    rows: Optional[List[Dict[str, Any]]] = None
+    notes: str = ""
+
+    def get_series(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"{self.exp_id}: no series {label!r}; have "
+            f"{[s.label for s in self.series]}"
+        )
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+    def add(self, label: str, x: Sequence[Any], y: Sequence[float]) -> Series:
+        s = Series(label, list(x), [float(v) for v in y])
+        self.series.append(s)
+        return s

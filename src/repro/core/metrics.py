@@ -1,0 +1,42 @@
+"""Units and quantity formatting shared by every experiment."""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def us(seconds: Number) -> float:
+    """Seconds → microseconds."""
+    return float(seconds) * 1.0e6
+
+
+def GBs(bytes_per_second: Number) -> float:
+    """Bytes/s → GB/s (decimal, as the paper and HPCC report)."""
+    return float(bytes_per_second) / 1.0e9
+
+
+def GFLOPS(flops_per_second: Number) -> float:
+    """Flop/s → GFLOP/s."""
+    return float(flops_per_second) / 1.0e9
+
+
+def TFLOPS(flops_per_second: Number) -> float:
+    """Flop/s → TFLOP/s."""
+    return float(flops_per_second) / 1.0e12
+
+
+def GUPS(updates_per_second: Number) -> float:
+    """Updates/s → giga-updates/s."""
+    return float(updates_per_second) / 1.0e9
+
+
+def format_quantity(value: Number, unit: str, precision: int = 3) -> str:
+    """Human-readable quantity: ``format_quantity(4.5, 'us') -> '4.5 us'``."""
+    v = float(value)
+    if v == 0:
+        return f"0 {unit}"
+    if abs(v) >= 100:
+        return f"{v:.0f} {unit}"
+    return f"{v:.{precision}g} {unit}"

@@ -1,0 +1,50 @@
+"""Experiment registry: maps paper artifact ids to their drivers.
+
+Every module in :mod:`repro.experiments` registers a zero-argument callable
+returning an :class:`~repro.core.experiment.ExperimentResult`; the registry
+is what the benchmark harness and the ``examples`` iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.experiment import ExperimentResult
+
+Driver = Callable[[], ExperimentResult]
+
+_REGISTRY: Dict[str, Driver] = {}
+
+
+def register(exp_id: str) -> Callable[[Driver], Driver]:
+    """Decorator: ``@register("fig08")`` on an experiment driver."""
+
+    def deco(fn: Driver) -> Driver:
+        if exp_id in _REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Driver:
+    """Look up a registered driver (importing repro.experiments first)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def all_experiments() -> List[str]:
+    """Sorted ids of every registered experiment."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    # Importing the package runs every @register decorator exactly once.
+    import repro.experiments  # noqa: F401

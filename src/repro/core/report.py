@@ -1,0 +1,119 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Sequence
+
+from repro.core.experiment import ExperimentResult
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.4g}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Fixed-width text table from a list of dict rows (shared keys)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(v.ljust(w) for v, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render an ExperimentResult: rows as a table, series as aligned columns."""
+    out = io.StringIO()
+    out.write(f"== {result.exp_id}: {result.title} ==\n")
+    if result.notes:
+        out.write(result.notes.strip() + "\n")
+    if result.rows:
+        out.write(render_table(result.rows))
+    for s in result.series:
+        out.write(f"\n[{s.label}]  ({result.xlabel} -> {result.ylabel})\n")
+        for x, y in zip(s.x, s.y):
+            out.write(f"  {_fmt(x):>12}  {_fmt(y)}\n")
+    return out.getvalue()
+
+
+def render_ascii_plot(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Terminal line plot of a result's numeric series.
+
+    Each series gets a marker character; points are scattered onto a
+    character grid. Series with non-numeric x values are skipped.
+    """
+    import math
+
+    markers = "ox+*#@%&"
+    points = []  # (x, y, marker)
+    legend = []
+    for i, s in enumerate(result.series):
+        xs = [x for x in s.x if isinstance(x, (int, float))]
+        if len(xs) != len(s.x) or not xs:
+            continue
+        m = markers[i % len(markers)]
+        legend.append(f"  {m} {s.label}")
+        for x, y in zip(s.x, s.y):
+            fx = math.log10(x) if logx and x > 0 else float(x)
+            points.append((fx, y, m))
+    if not points:
+        return "(no numeric series to plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for fx, y, m in points:
+        col = int((fx - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = m
+    out = io.StringIO()
+    out.write(f"{result.title}  ({result.ylabel} vs {result.xlabel})\n")
+    for r, line in enumerate(grid):
+        label = f"{y1 - r * yr / (height - 1):10.3g} |" if r in (0, height - 1) else " " * 10 + " |"
+        out.write(label + "".join(line) + "\n")
+    out.write(" " * 11 + "-" * width + "\n")
+    out.write(f"{'':10s}  {x0:.3g}{'':{max(1, width - 18)}s}{x1:.3g}"
+              + ("  (log x)" if logx else "") + "\n")
+    out.write("\n".join(legend) + "\n")
+    return out.getvalue()
+
+
+def render_csv(result: ExperimentResult) -> str:
+    """CSV: rows verbatim for tables; long format for figures."""
+    out = io.StringIO()
+    if result.rows:
+        cols = list(result.rows[0].keys())
+        out.write(",".join(cols) + "\n")
+        for r in result.rows:
+            out.write(",".join(str(r.get(c, "")) for c in cols) + "\n")
+        return out.getvalue()
+    out.write("series,x,y\n")
+    for s in result.series:
+        for x, y in zip(s.x, s.y):
+            out.write(f"{s.label},{x},{y}\n")
+    return out.getvalue()

@@ -1,0 +1,101 @@
+"""Scaling-study helpers: speedup, efficiency, and crossover extraction.
+
+Utilities the experiment drivers and examples use to turn model
+evaluations into the quantities scaling papers report: strong-scaling
+speedup/efficiency tables, weak-scaling flatness, the task count where
+one configuration overtakes another (the paper's SN-vs-VN equal-node
+comparisons), and Karp–Flatt serial-fraction estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def strong_scaling_table(
+    time_fn: Callable[[int], float], task_counts: Sequence[int]
+) -> List[dict]:
+    """Speedup/efficiency rows relative to the smallest task count.
+
+    ``time_fn(p)`` returns the time-to-solution on ``p`` tasks.
+    """
+    counts = sorted(task_counts)
+    if not counts:
+        raise ValueError("need at least one task count")
+    base_p = counts[0]
+    base_t = time_fn(base_p)
+    rows = []
+    for p in counts:
+        t = time_fn(p)
+        speedup = base_t / t
+        rows.append(
+            {
+                "tasks": p,
+                "time_s": t,
+                "speedup": speedup,
+                "efficiency": speedup / (p / base_p),
+            }
+        )
+    return rows
+
+
+def weak_scaling_table(
+    time_fn: Callable[[int], float], task_counts: Sequence[int]
+) -> List[dict]:
+    """Weak-scaling rows: per-step time and efficiency vs the smallest run."""
+    counts = sorted(task_counts)
+    if not counts:
+        raise ValueError("need at least one task count")
+    base_t = time_fn(counts[0])
+    return [
+        {
+            "tasks": p,
+            "time_s": time_fn(p),
+            "efficiency": base_t / time_fn(p),
+        }
+        for p in counts
+    ]
+
+
+def karp_flatt(speedup: float, p: int) -> float:
+    """Karp–Flatt experimentally determined serial fraction.
+
+    ``e = (1/S − 1/p) / (1 − 1/p)``; a rising ``e`` with ``p`` indicates
+    growing parallel overhead (POP's barotropic phase), a constant ``e``
+    a genuine serial fraction.
+    """
+    if p < 2:
+        raise ValueError("p must be >= 2")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def crossover_tasks(
+    metric_a: Callable[[int], float],
+    metric_b: Callable[[int], float],
+    task_counts: Sequence[int],
+) -> Optional[int]:
+    """First task count where ``metric_b`` exceeds ``metric_a``.
+
+    Both metrics are higher-is-better (e.g. throughput). Returns ``None``
+    if B never overtakes A in the sampled range.
+    """
+    for p in sorted(task_counts):
+        if metric_b(p) > metric_a(p):
+            return p
+    return None
+
+
+def parallel_fraction_fit(
+    time_fn: Callable[[int], float], p_small: int, p_large: int
+) -> Tuple[float, float]:
+    """Amdahl fit from two samples: returns ``(serial_s, parallel_s)``
+    such that ``t(p) ≈ serial + parallel/p`` matches both points."""
+    if p_small >= p_large:
+        raise ValueError("p_small must be < p_large")
+    t1, t2 = time_fn(p_small), time_fn(p_large)
+    inv1, inv2 = 1.0 / p_small, 1.0 / p_large
+    parallel = (t1 - t2) / (inv1 - inv2)
+    serial = t1 - parallel * inv1
+    return serial, parallel

@@ -1,0 +1,99 @@
+"""Figure-shape validation.
+
+The reproduction target is the *shape* of each paper result — orderings
+(who wins), approximate factors, crossovers, flatness — not absolute
+numbers from hardware we do not have. :class:`ShapeCheck` accumulates
+named assertions about an :class:`~repro.core.experiment.ExperimentResult`
+and reports them together, so EXPERIMENTS.md and the test suite share one
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+class ShapeCheckFailure(AssertionError):
+    """Raised by :meth:`ShapeCheck.raise_if_failed`."""
+
+
+@dataclass
+class _Check:
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ShapeCheck:
+    """A named collection of pass/fail observations about one experiment."""
+
+    exp_id: str
+    checks: List[_Check] = field(default_factory=list)
+
+    # -- primitives ---------------------------------------------------------
+    def expect(self, name: str, condition: bool, detail: str = "") -> bool:
+        """Record an arbitrary condition."""
+        self.checks.append(_Check(name, bool(condition), detail))
+        return bool(condition)
+
+    def expect_greater(self, name: str, a: float, b: float, margin: float = 1.0) -> bool:
+        """``a > b × margin`` (margin < 1 loosens, > 1 demands headroom)."""
+        return self.expect(name, a > b * margin, f"{a:.6g} vs {b:.6g} (margin {margin})")
+
+    def expect_ratio(
+        self, name: str, a: float, b: float, lo: float, hi: float
+    ) -> bool:
+        """``lo <= a/b <= hi``."""
+        ratio = a / b if b else float("inf")
+        return self.expect(name, lo <= ratio <= hi, f"ratio {ratio:.4g} not in [{lo}, {hi}]")
+
+    def expect_close(self, name: str, a: float, b: float, rel: float = 0.1) -> bool:
+        """``a`` within ``rel`` of ``b``."""
+        ok = abs(a - b) <= rel * abs(b)
+        return self.expect(name, ok, f"{a:.6g} vs {b:.6g} (rel {rel})")
+
+    def expect_monotone(
+        self, name: str, values: Sequence[float], increasing: bool = True,
+        slack: float = 0.0,
+    ) -> bool:
+        """Sequence is (weakly) monotone, tolerating ``slack`` relative dips."""
+        ok = True
+        for a, b in zip(values, values[1:]):
+            if increasing and b < a * (1.0 - slack):
+                ok = False
+            if not increasing and b > a * (1.0 + slack):
+                ok = False
+        return self.expect(name, ok, f"values {list(values)}")
+
+    def expect_flat(self, name: str, values: Sequence[float], rel: float = 0.3) -> bool:
+        """max/min spread within ``rel`` of the mean (weak-scaling flatness)."""
+        if not values:
+            return self.expect(name, False, "empty")
+        mean = sum(values) / len(values)
+        spread = (max(values) - min(values)) / mean if mean else float("inf")
+        return self.expect(name, spread <= rel, f"spread {spread:.3g} > {rel}")
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> List[str]:
+        return [f"{c.name}: {c.detail}" for c in self.checks if not c.passed]
+
+    def summary(self) -> str:
+        lines = [f"shape checks for {self.exp_id}:"]
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name}" + (f" — {c.detail}" if c.detail else ""))
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.passed:
+            raise ShapeCheckFailure(
+                f"{self.exp_id}: {len(self.failures)} shape check(s) failed:\n  "
+                + "\n  ".join(self.failures)
+            )

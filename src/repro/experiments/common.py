@@ -1,0 +1,53 @@
+"""Shared sweeps and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.core.experiment import ExperimentResult
+from repro.machine.configs import xt3, xt3_dc, xt4, xt3_xt4_combined
+
+#: Processor-count sweep for the global HPCC figures (paper x-axis to ~1200).
+GLOBAL_SWEEP: Tuple[int, ...] = (128, 256, 512, 1024)
+
+#: MPI task sweep for CAM (decomposition-legal counts up to the 960 limit).
+CAM_SWEEP: Tuple[int, ...] = (64, 128, 256, 504, 672, 960)
+
+#: Task sweep for POP on a single system.
+POP_SWEEP: Tuple[int, ...] = (500, 1000, 2500, 5000)
+
+#: Task sweep for POP on the combined XT3/XT4 system.
+POP_COMBINED_SWEEP: Tuple[int, ...] = (10000, 16000, 22000)
+
+#: NAMD task sweep (paper Figs 20-21 x-axis).
+NAMD_SWEEP: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 12000)
+
+#: S3D weak-scaling core counts (paper Fig. 22, log axis 1..10000).
+S3D_SWEEP: Tuple[int, ...] = (1, 8, 64, 512, 4096, 12000)
+
+
+def global_hpcc_series(
+    result: ExperimentResult,
+    metric: Callable[[object, int], float],
+    sweep: Tuple[int, ...] = GLOBAL_SWEEP,
+) -> ExperimentResult:
+    """Populate the four standard series of Figures 8-11.
+
+    ``metric(machine, ntasks)`` returns the benchmark value for a job of
+    ``ntasks`` tasks. Series follow the paper's legend: XT3 and XT4-SN
+    indexed by sockets (= cores = tasks), XT4-VN plotted both per core
+    (tasks = x) and per socket (tasks = 2x).
+    """
+    result.add("XT3 (5/06)", list(sweep), [metric(xt3(), p) for p in sweep])
+    result.add(
+        "XT4-SN (2/07)", list(sweep), [metric(xt4("SN"), p) for p in sweep]
+    )
+    result.add(
+        "XT4-VN (cores)", list(sweep), [metric(xt4("VN"), p) for p in sweep]
+    )
+    result.add(
+        "XT4-VN (sockets)",
+        list(sweep),
+        [metric(xt4("VN"), 2 * p) for p in sweep],
+    )
+    return result

@@ -1,0 +1,45 @@
+"""The HPC Challenge benchmark suite on the simulated machine (paper §5).
+
+Node-local benchmarks (DGEMM, FFT, STREAM, RandomAccess) report SP
+(one busy core) and EP (every core busy) rates; network benchmarks report
+the ping-pong / natural-ring / random-ring latency and bandwidth metrics;
+global benchmarks (HPL, MPI-FFT, PTRANS, MPI-RandomAccess) model whole-
+machine runs. Each benchmark can also execute its real kernel at small
+scale (``run_numeric``) so correctness and model structure are testable.
+"""
+
+from repro.hpcc.bidirectional import BidirectionalBandwidth
+from repro.hpcc.dgemm_bench import DGEMMBench
+from repro.hpcc.fft_bench import FFTBench
+from repro.hpcc.hpl import HPLModel
+from repro.hpcc.hpl_distributed import DistributedLU
+from repro.hpcc.mpifft import MPIFFTModel
+from repro.hpcc.mpifft_distributed import DistributedFFT
+from repro.hpcc.mpira import MPIRandomAccessModel
+from repro.hpcc.mpira_distributed import DistributedRandomAccess
+from repro.hpcc.pingpong import PingPong
+from repro.hpcc.ptrans import PTRANSModel
+from repro.hpcc.ptrans_distributed import DistributedPTRANS
+from repro.hpcc.ra_bench import RandomAccessBench
+from repro.hpcc.ring import RingBenchmark
+from repro.hpcc.stream_bench import StreamBench
+from repro.hpcc.suite import HPCCSuite
+
+__all__ = [
+    "BidirectionalBandwidth",
+    "DGEMMBench",
+    "DistributedFFT",
+    "DistributedLU",
+    "DistributedPTRANS",
+    "DistributedRandomAccess",
+    "FFTBench",
+    "HPCCSuite",
+    "HPLModel",
+    "MPIFFTModel",
+    "MPIRandomAccessModel",
+    "PTRANSModel",
+    "PingPong",
+    "RandomAccessBench",
+    "RingBenchmark",
+    "StreamBench",
+]

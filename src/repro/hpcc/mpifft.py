@@ -1,0 +1,63 @@
+"""Global MPI-FFT model (Figure 9).
+
+A distributed 1D FFT is compute (local FFT passes) plus three global
+transposes (alltoalls). Per socket the XT4 beats the XT3; per *core* in VN
+mode it is much worse — the alltoalls hit the shared-NIC injection path
+(the paper's "NIC bottleneck ... in VN mode").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.processor import CoreModel
+from repro.machine.specs import GIGA, Machine
+from repro.mpi.costmodels import CollectiveCostModel
+from repro.network.model import NetworkModel
+
+#: Complex double element size.
+_ITEM = 16
+#: Working set: input + output + twiddle/scratch vectors.
+_VECTORS = 3
+
+
+@dataclass
+class MPIFFTModel:
+    """HPCC global FFT on ``ntasks`` tasks."""
+
+    machine: Machine
+    ntasks: int
+    fill_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+
+    def problem_size(self) -> int:
+        """Largest power-of-two N fitting the working set in memory."""
+        mem_per_task = (
+            self.machine.node.memory_capacity_gb
+            / self.machine.tasks_per_node
+            * GIGA
+        )
+        max_n = self.fill_fraction * mem_per_task * self.ntasks / (_ITEM * _VECTORS)
+        return 1 << max(4, int(math.floor(math.log2(max_n))))
+
+    def flops(self) -> float:
+        n = self.problem_size()
+        return 5.0 * n * math.log2(n)
+
+    def time_s(self) -> float:
+        n = self.problem_size()
+        p = self.ntasks
+        core = CoreModel(self.machine)
+        comp = self.flops() / (p * core.fft_gflops() * GIGA)
+        if p == 1:
+            return comp
+        costs = CollectiveCostModel.for_machine(NetworkModel(self.machine), p)
+        per_pair = _ITEM * n / (float(p) * p)
+        return comp + 3.0 * costs.alltoall_s(per_pair)
+
+    def gflops(self) -> float:
+        return self.flops() / self.time_s() / GIGA

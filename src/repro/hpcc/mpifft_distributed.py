@@ -1,0 +1,101 @@
+"""A real distributed 1D FFT on the simulated MPI (mini MPI-FFT).
+
+The transpose (four-step) algorithm: view the length-``N = n1·n2`` signal
+as an ``n1×n2`` row-major matrix, then
+
+1. global transpose (alltoall of blocks) so each rank holds whole columns;
+2. local FFTs of length ``n1`` (our radix-2 kernel) + twiddle factors;
+3. global transpose back;
+4. local FFTs of length ``n2``.
+
+The output, like real distributed FFTs, lands in decimated order;
+:meth:`DistributedFFT.transform` returns the naturally ordered spectrum
+for direct comparison with ``numpy.fft.fft``. The two alltoalls are the
+communication the :class:`~repro.hpcc.mpifft.MPIFFTModel` prices —
+and why VN mode hurts MPI-FFT per core (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.fft import fft, fft_flops
+from repro.machine.specs import Machine
+from repro.mpi.job import JobResult, MPIJob
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class DistributedFFT:
+    """Transpose-algorithm FFT of a length ``n1·n2`` complex signal."""
+
+    machine: Machine
+    ntasks: int
+    n1: int
+    n2: int
+
+    def __post_init__(self) -> None:
+        if not (_is_pow2(self.n1) and _is_pow2(self.n2)):
+            raise ValueError("n1 and n2 must be powers of two")
+        for extent, label in ((self.n1, "n1"), (self.n2, "n2")):
+            if extent % self.ntasks:
+                raise ValueError(f"{label} must divide evenly among tasks")
+
+    @property
+    def n(self) -> int:
+        return self.n1 * self.n2
+
+    def _distributed_transpose(self, comm, block: np.ndarray, rows_out: int):
+        """Alltoall transpose: in = (rows_in, cols); out = (rows_out, cols')."""
+        p = comm.size
+        pieces = np.array_split(block, p, axis=1)
+        received = yield from comm.alltoall([np.ascontiguousarray(x) for x in pieces])
+        # received[s] holds this rank's column chunk of rank s's rows;
+        # transposed chunks concatenate along the (new) column axis.
+        out = np.hstack([r.T for r in received])
+        assert out.shape[0] == rows_out
+        return out
+
+    def transform(self, x: np.ndarray) -> Tuple[np.ndarray, JobResult]:
+        """Forward DFT of ``x``; returns (naturally ordered spectrum, job)."""
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape != (self.n,):
+            raise ValueError(f"signal length must be {self.n}")
+        n1, n2, p = self.n1, self.n2, self.ntasks
+        m = x.reshape(n1, n2)
+        rows1 = n1 // p  # rows of m per rank
+        rows2 = n2 // p  # rows of m^T per rank
+
+        def main(comm):
+            r = comm.rank
+            block = np.array(m[r * rows1 : (r + 1) * rows1], copy=True)
+            # Step 1: transpose -> rank owns rows of m^T (columns i2 of m).
+            mt = yield from self._distributed_transpose(comm, block, rows2)
+            # Step 2: FFT each row (length n1) + twiddles w_N^{i2*k1}.
+            yield from comm.compute(rows2 * fft_flops(n1), profile="fft")
+            for i, row in enumerate(mt):
+                i2 = r * rows2 + i
+                spectrum = fft(row)
+                k1 = np.arange(n1)
+                mt[i] = spectrum * np.exp(-2j * np.pi * i2 * k1 / self.n)
+            # Step 3: transpose back -> rank owns rows k1 of the D^T matrix.
+            d = yield from self._distributed_transpose(comm, mt, rows1)
+            # Step 4: FFT each row (length n2).
+            yield from comm.compute(rows1 * fft_flops(n2), profile="fft")
+            for i in range(rows1):
+                d[i] = fft(d[i])
+            gathered = yield from comm.gather(d, root=0)
+            if comm.rank != 0:
+                return None
+            e = np.vstack(gathered)  # e[k1, k2] = X[k1 + n1*k2]
+            return e.T.ravel()
+
+        job = MPIJob(self.machine, self.ntasks)
+        result = job.run(main)
+        return result.returns[0], result

@@ -1,0 +1,55 @@
+"""Global MPI RandomAccess model (Figure 11).
+
+Every update targets a uniformly random task, so the benchmark degenerates
+to a stream of tiny remote messages: the per-task rate is set by effective
+small-message latency, not by bandwidth or local GUPS. This is where VN
+mode loses outright — "the increased network latency of VN mode ...
+overwhelms all other factors", making XT4-VN slower than XT3 per core
+*and* per socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.processor import CoreModel
+from repro.machine.specs import Machine
+from repro.network.model import NetworkModel
+from repro.network.topology import Torus3D
+
+
+@dataclass
+class MPIRandomAccessModel:
+    """HPCC global RandomAccess (GUPS) on ``ntasks`` tasks."""
+
+    machine: Machine
+    ntasks: int
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+
+    def _job_nodes(self) -> int:
+        return -(-self.ntasks // self.machine.tasks_per_node)
+
+    def per_task_gups(self) -> float:
+        """Update rate of one task: one small message per remote update."""
+        if self.ntasks == 1:
+            return CoreModel(self.machine).random_access_gups()
+        net = NetworkModel(self.machine)
+        nodes = self._job_nodes()
+        sub = Torus3D(net.torus.sub_torus_dims(min(nodes, net.torus.num_nodes)))
+        hops = max(1, round(sub.avg_hops_random_pair))
+        vn = self.machine.tasks_per_node > 1
+        latency = net.base_latency_s(
+            hops=hops,
+            contended_fraction=1.0 if vn else 0.0,
+            job_nodes=nodes,
+        )
+        network_rate = 1.0e-9 / latency  # one update per effective latency
+        local_rate = CoreModel(self.machine).random_access_gups()
+        return min(network_rate, local_rate)
+
+    def gups(self) -> float:
+        """Whole-job giga-updates per second."""
+        return self.ntasks * self.per_task_gups()

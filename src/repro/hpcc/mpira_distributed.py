@@ -1,0 +1,89 @@
+"""A real distributed RandomAccess on the simulated MPI (mini MPI-RA).
+
+Each rank owns a contiguous chunk of the global table and generates its
+share of the HPCC update stream. Updates are bucketed by destination
+rank and exchanged in alltoallv rounds (lookahead batching); owners
+apply received updates with XOR. Because XOR commutes, the distributed
+result is *exactly* the serial result regardless of delivery order —
+the verification in tests is exact, unlike the intentionally lossy
+batched shared-memory kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.randomaccess import hpcc_random_stream
+from repro.machine.specs import Machine
+from repro.mpi.job import JobResult, MPIJob
+
+
+@dataclass
+class DistributedRandomAccess:
+    """HPCC global RandomAccess over a ``2**table_bits`` entry table."""
+
+    machine: Machine
+    ntasks: int
+    table_bits: int = 12
+    updates_per_rank: int = 2048
+    lookahead: int = 256
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+        size = 1 << self.table_bits
+        if size % self.ntasks:
+            raise ValueError("table size must divide evenly among ranks")
+        if self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.table_bits
+
+    def run(self) -> Tuple[np.ndarray, JobResult]:
+        """Execute the benchmark; returns ``(final table, JobResult)``."""
+        size = self.table_size
+        chunk = size // self.ntasks
+        mask = np.uint64(size - 1)
+        updates = self.updates_per_rank
+        lookahead = self.lookahead
+
+        def main(comm):
+            r = comm.rank
+            lo = r * chunk
+            table = np.arange(lo, lo + chunk, dtype=np.uint64)
+            # Each rank's stream starts from a distinct seed, as HPCC's
+            # starts() jump-ahead does.
+            stream = hpcc_random_stream(updates, start=2 * r + 1)
+            for pos in range(0, updates, lookahead):
+                batch = stream[pos : pos + lookahead]
+                idx = (batch & mask).astype(np.int64)
+                dest = idx // chunk
+                outgoing = [batch[dest == d] for d in range(comm.size)]
+                incoming = yield from comm.alltoallv(outgoing)
+                merged = np.concatenate(incoming) if incoming else batch[:0]
+                local_idx = (merged & mask).astype(np.int64) - lo
+                np.bitwise_xor.at(table, local_idx, merged)
+                # Local table update cost: one random access per update.
+                yield from comm.stream(8.0 * merged.size * 8)
+            gathered = yield from comm.gather(table, root=0)
+            return np.concatenate(gathered) if comm.rank == 0 else None
+
+        job = MPIJob(self.machine, self.ntasks)
+        result = job.run(main)
+        return result.returns[0], result
+
+    def expected_table(self) -> np.ndarray:
+        """Exact serial replay of every rank's stream."""
+        size = self.table_size
+        mask = np.uint64(size - 1)
+        table = np.arange(size, dtype=np.uint64)
+        for r in range(self.ntasks):
+            stream = hpcc_random_stream(self.updates_per_rank, start=2 * r + 1)
+            idx = (stream & mask).astype(np.int64)
+            np.bitwise_xor.at(table, idx, stream)
+        return table

@@ -1,0 +1,68 @@
+"""Convenience wrapper running the whole HPCC suite on one machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hpcc.dgemm_bench import DGEMMBench
+from repro.hpcc.fft_bench import FFTBench
+from repro.hpcc.hpl import HPLModel
+from repro.hpcc.mpifft import MPIFFTModel
+from repro.hpcc.mpira import MPIRandomAccessModel
+from repro.hpcc.pingpong import PingPong
+from repro.hpcc.ptrans import PTRANSModel
+from repro.hpcc.ra_bench import RandomAccessBench
+from repro.hpcc.ring import RingBenchmark
+from repro.hpcc.stream_bench import StreamBench
+from repro.machine.specs import Machine
+
+
+@dataclass
+class HPCCSuite:
+    """All HPCC metrics for one machine+mode at a given global job size."""
+
+    machine: Machine
+    global_ntasks: int = 1024
+
+    def network_metrics(self) -> Dict[str, float]:
+        pp = PingPong(self.machine)
+        ring = RingBenchmark(self.machine)
+        return {
+            "pp_latency_min_us": pp.latency_us("min"),
+            "pp_latency_avg_us": pp.latency_us("avg"),
+            "pp_latency_max_us": pp.latency_us("max"),
+            "nat_ring_latency_us": ring.natural_latency_us(),
+            "rand_ring_latency_us": ring.random_latency_us(),
+            "pp_bandwidth_GBs": pp.bandwidth_GBs(),
+            "nat_ring_bandwidth_GBs": ring.natural_bandwidth_GBs(),
+            "rand_ring_bandwidth_GBs": ring.random_bandwidth_GBs(),
+        }
+
+    def node_metrics(self) -> Dict[str, float]:
+        return {
+            "dgemm_sp_gflops": DGEMMBench(self.machine).sp_gflops(),
+            "dgemm_ep_gflops": DGEMMBench(self.machine).ep_gflops(),
+            "fft_sp_gflops": FFTBench(self.machine).sp_gflops(),
+            "fft_ep_gflops": FFTBench(self.machine).ep_gflops(),
+            "stream_sp_GBs": StreamBench(self.machine).sp_GBs(),
+            "stream_ep_GBs": StreamBench(self.machine).ep_GBs(),
+            "ra_sp_gups": RandomAccessBench(self.machine).sp_gups(),
+            "ra_ep_gups": RandomAccessBench(self.machine).ep_gups(),
+        }
+
+    def global_metrics(self) -> Dict[str, float]:
+        p = self.global_ntasks
+        return {
+            "hpl_tflops": HPLModel(self.machine, p).tflops(),
+            "mpifft_gflops": MPIFFTModel(self.machine, p).gflops(),
+            "ptrans_GBs": PTRANSModel(self.machine, p).gbs(),
+            "mpira_gups": MPIRandomAccessModel(self.machine, p).gups(),
+        }
+
+    def all_metrics(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        out.update(self.network_metrics())
+        out.update(self.node_metrics())
+        out.update(self.global_metrics())
+        return out

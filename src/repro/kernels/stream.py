@@ -1,0 +1,47 @@
+"""The STREAM kernels (McCalpin): copy, scale, add, triad.
+
+Each returns the number of bytes moved through memory (the STREAM
+accounting convention: one read or write of each participating array).
+All operate in place on preallocated arrays, as the real benchmark does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(*arrays: np.ndarray) -> int:
+    n = arrays[0].shape[0]
+    for a in arrays:
+        if a.ndim != 1 or a.shape[0] != n:
+            raise ValueError("STREAM arrays must be 1D and equally sized")
+    return n
+
+
+def stream_copy(c: np.ndarray, a: np.ndarray) -> int:
+    """``c[:] = a``; 2 × N × itemsize bytes."""
+    n = _check(c, a)
+    np.copyto(c, a)
+    return 2 * n * a.itemsize
+
+
+def stream_scale(b: np.ndarray, c: np.ndarray, scalar: float) -> int:
+    """``b[:] = scalar * c``; 2 × N × itemsize bytes."""
+    n = _check(b, c)
+    np.multiply(c, scalar, out=b)
+    return 2 * n * c.itemsize
+
+
+def stream_add(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> int:
+    """``c[:] = a + b``; 3 × N × itemsize bytes."""
+    n = _check(c, a, b)
+    np.add(a, b, out=c)
+    return 3 * n * a.itemsize
+
+
+def stream_triad(a: np.ndarray, b: np.ndarray, c: np.ndarray, scalar: float) -> int:
+    """``a[:] = b + scalar * c``; 3 × N × itemsize bytes (the headline kernel)."""
+    n = _check(a, b, c)
+    np.multiply(c, scalar, out=a)
+    np.add(a, b, out=a)
+    return 3 * n * b.itemsize

@@ -1,0 +1,27 @@
+"""Object-based parallel filesystem simulator (Lustre, paper §2 / Fig. 1).
+
+Components mirror the paper's description: a single **MDS** (metadata
+server — every open/create serializes through it, "which can cause a
+bottleneck in metadata operations at large scales"), **OSS**es (object
+storage servers moving data), each serving **OST**s (object storage
+targets holding file objects), and **striping** (a file with stripe
+count 4 is broken into objects stored on 4 OSTs). Compute-node access
+goes through :class:`~repro.lustre.client.LustreClient` (liblustre).
+
+:class:`~repro.lustre.ior.IORBenchmark` reproduces an IOR-style
+bandwidth/metadata study on the simulated filesystem.
+"""
+
+from repro.lustre.client import LustreClient
+from repro.lustre.filesystem import LustreFilesystem, LustreConfig
+from repro.lustre.ior import IORBenchmark, IORResult
+from repro.lustre.striping import StripeLayout
+
+__all__ = [
+    "IORBenchmark",
+    "IORResult",
+    "LustreClient",
+    "LustreConfig",
+    "LustreFilesystem",
+    "StripeLayout",
+]

@@ -1,0 +1,44 @@
+"""Compute-node Lustre access (the liblustre role)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lustre.filesystem import LustreFilesystem
+
+
+class LustreClient:
+    """One compute node's view of the filesystem.
+
+    All methods are process-helpers (``yield from`` inside a simulation
+    process). The client tracks its own observed I/O time for reporting.
+    """
+
+    def __init__(self, fs: LustreFilesystem, client_id: int) -> None:
+        self.fs = fs
+        self.client_id = client_id
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def create(self, name: str, stripe_count: Optional[int] = None):
+        """Create (and implicitly open) a file; one metadata round trip."""
+        f = yield from self.fs.create(name, stripe_count)
+        return f
+
+    def open(self, name: str):
+        f = yield from self.fs.open(name)
+        return f
+
+    def write(self, file, offset: int, nbytes: int):
+        """Write ``nbytes`` at ``offset``; returns elapsed simulated time."""
+        start = self.fs.sim.now
+        yield from self.fs.transfer(file, offset, nbytes, write=True)
+        self.bytes_written += nbytes
+        return self.fs.sim.now - start
+
+    def read(self, file, offset: int, nbytes: int):
+        """Read ``nbytes`` at ``offset``; returns elapsed simulated time."""
+        start = self.fs.sim.now
+        yield from self.fs.transfer(file, offset, nbytes, write=False)
+        self.bytes_read += nbytes
+        return self.fs.sim.now - start

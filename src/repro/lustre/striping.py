@@ -1,0 +1,64 @@
+"""File striping across object storage targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """How one file's bytes map onto OST objects.
+
+    :param stripe_count: number of OSTs holding objects of this file.
+    :param stripe_size: bytes written to one OST before moving to the next.
+    :param first_ost: index of the OST holding stripe 0.
+    """
+
+    stripe_count: int
+    stripe_size: int
+    first_ost: int
+    total_osts: int
+
+    def __post_init__(self) -> None:
+        if self.stripe_count < 1:
+            raise ValueError("stripe_count must be >= 1")
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        if self.stripe_count > self.total_osts:
+            raise ValueError(
+                f"stripe_count {self.stripe_count} exceeds {self.total_osts} OSTs"
+            )
+        if not 0 <= self.first_ost < self.total_osts:
+            raise ValueError("first_ost out of range")
+
+    def ost_of_offset(self, offset: int) -> int:
+        """The OST storing the byte at ``offset``."""
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        stripe_index = (offset // self.stripe_size) % self.stripe_count
+        return (self.first_ost + stripe_index) % self.total_osts
+
+    def chunks(self, offset: int, nbytes: int) -> List[Tuple[int, int]]:
+        """Split a contiguous [offset, offset+nbytes) range into
+        per-OST pieces: a list of ``(ost_index, chunk_bytes)``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        out: List[Tuple[int, int]] = []
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            within = pos % self.stripe_size
+            take = min(self.stripe_size - within, remaining)
+            out.append((self.ost_of_offset(pos), take))
+            pos += take
+            remaining -= take
+        return out
+
+    def bytes_per_ost(self, nbytes: int) -> List[int]:
+        """Total bytes landing on each OST for an ``nbytes`` sequential
+        write starting at offset 0 (length ``total_osts``)."""
+        totals = [0] * self.total_osts
+        for ost, take in self.chunks(0, nbytes):
+            totals[ost] += take
+        return totals

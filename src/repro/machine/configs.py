@@ -1,0 +1,289 @@
+"""The evaluated systems (paper Table 1) with calibrated model constants.
+
+Published constants are taken directly from the paper:
+
+* processor clocks and core counts (Table 1);
+* DDR-400 6.4 GB/s, DDR2-667 10.6 GB/s per-socket memory bandwidth (§2);
+* SeaStar 2.2 GB/s vs SeaStar2 4.0 GB/s injection bandwidth (§2);
+* link peak 7.6 GB/s bidirectional, sustained 4 → 6 GB/s (§2);
+* 2 GB/core memory on all three systems (Table 1).
+
+Calibrated constants (marked ``CAL``) are efficiency factors fitted once so
+the model's micro-benchmarks land on the paper's Figures 2–7 measurements;
+they are *shared* by every higher-level benchmark and application model —
+nothing downstream is fitted per-figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.machine.modes import Mode, parse_mode
+from repro.machine.specs import (
+    Machine,
+    MemorySpec,
+    NICSpec,
+    NodeSpec,
+    ProcessorSpec,
+    WorkloadProfile,
+)
+
+# ---------------------------------------------------------------------------
+# Processors (paper Table 1)
+# ---------------------------------------------------------------------------
+
+OPTERON_SC_24 = ProcessorSpec(
+    name="AMD Opteron 2.4GHz (single-core, Socket 939 Rev E)",
+    clock_ghz=2.4,
+    cores_per_socket=1,
+)
+
+OPTERON_DC_26_REV_E = ProcessorSpec(
+    name="AMD Opteron 2.6GHz (dual-core, Socket 939 Rev E)",
+    clock_ghz=2.6,
+    cores_per_socket=2,
+)
+
+OPTERON_DC_26_REV_F = ProcessorSpec(
+    name="AMD Opteron 2.6GHz (dual-core, AM2 Rev F)",
+    clock_ghz=2.6,
+    cores_per_socket=2,
+)
+
+#: Projected quad-core site upgrade (paper §2: the AM2 socket change "was
+#: critical to ensure that dual-core XT4 systems can be site-upgraded to
+#: quad-core processors"; §7 names multi-core impact as future work).
+#: Barcelona-class core: 128-bit SSE doubles the per-cycle flop rate.
+OPTERON_QC_21_BARCELONA = ProcessorSpec(
+    name="AMD Opteron 2.1GHz (quad-core, Barcelona-class projection)",
+    clock_ghz=2.1,
+    cores_per_socket=4,
+    flops_per_cycle=4.0,
+)
+
+# ---------------------------------------------------------------------------
+# Memory subsystems
+# ---------------------------------------------------------------------------
+# CAL stream_efficiency: XT3 STREAM triad ≈ 4.1 GB/s of 6.4 peak (Fig. 7);
+# XT4 ≈ 6.5 GB/s of 10.6 peak (Fig. 7).
+# CAL random_update_rate_gups: Fig. 6 — XT3 SP ≈ 0.016 GUPS, XT4 SP ≈ 0.021;
+# per-socket rate is mode-independent ("same per-socket RA performance
+# regardless of whether one or both cores are active").
+
+DDR_400 = MemorySpec(
+    name="DDR-400",
+    peak_bw_GBs=6.4,
+    latency_ns=55.0,  # paper §2: "less than 60ns"
+    stream_efficiency=0.64,  # CAL
+    single_core_bw_fraction=0.97,  # CAL: one core nearly saturates the socket
+    random_update_rate_gups=0.016,  # CAL
+)
+
+DDR2_667 = MemorySpec(
+    name="DDR2-667",
+    peak_bw_GBs=10.6,
+    latency_ns=60.0,
+    stream_efficiency=0.61,  # CAL
+    single_core_bw_fraction=0.97,  # CAL
+    random_update_rate_gups=0.021,  # CAL
+)
+
+#: DDR2-800 (12.8 GB/s — quoted in paper §2 as the next memory step).
+DDR2_800 = MemorySpec(
+    name="DDR2-800",
+    peak_bw_GBs=12.8,
+    latency_ns=60.0,
+    stream_efficiency=0.61,  # assume DDR2-667's efficiency carries over
+    single_core_bw_fraction=0.97,
+    random_update_rate_gups=0.024,
+)
+
+# ---------------------------------------------------------------------------
+# NICs
+# ---------------------------------------------------------------------------
+# CAL mpi_latency_us: Fig. 2 — XT3 ≈ 6 µs, XT4-SN ≈ 4.5 µs best case.
+# CAL mpi_bw_efficiency: Fig. 3 — XT3 ping-pong 1.15 GB/s of 2.2 injection
+# (0.523); XT4 just over 2 GB/s of 4.0 (0.525).
+# CAL vn_* terms: Fig. 2 — VN latencies start several µs above SN and
+# approach ~18 µs worst case at larger configurations.
+
+# Link bandwidth note: §2 quotes 7.6 GB/s peak bidirectional links on both
+# SeaStar generations and the PTRANS discussion states the SeaStar-to-SeaStar
+# link bandwidth "did not change from XT3 to XT4" (the 4 → 6 GB/s sustained
+# figure is node-level throughput enabled by the faster HT injection path).
+# We therefore give both NICs the same sustained per-direction link rate
+# (CAL 2.4 GB/s) and let the injection bandwidth carry the generation gap.
+
+SEASTAR = NICSpec(
+    name="SeaStar",
+    injection_bw_GBs=2.2,
+    sustained_link_bw_GBs=2.4,  # CAL, identical across generations
+    peak_link_bw_GBs=7.6,
+    mpi_latency_us=6.0,  # CAL
+    mpi_bw_efficiency=0.523,  # CAL
+    vn_latency_add_us=2.5,  # CAL
+    vn_contention_max_add_us=9.0,  # CAL
+)
+
+SEASTAR2 = NICSpec(
+    name="SeaStar2",
+    injection_bw_GBs=4.0,
+    sustained_link_bw_GBs=2.4,  # CAL, identical across generations (see above)
+    peak_link_bw_GBs=7.6,
+    mpi_latency_us=4.5,  # CAL
+    mpi_bw_efficiency=0.525,  # CAL
+    vn_latency_add_us=3.0,  # CAL
+    vn_contention_max_add_us=10.5,  # CAL: 4.5 + 3.0 + 10.5 ≈ 18 µs worst case
+)
+
+# ---------------------------------------------------------------------------
+# Systems
+# ---------------------------------------------------------------------------
+# Torus extents approximate the ORNL installations: Table 1 gives socket
+# counts (5,212 / 5,212 / 6,296); we use the smallest practical 3D torus
+# enclosing them. Service/IO nodes are not modelled.
+
+_XT3_DIMS: Tuple[int, int, int] = (14, 16, 24)  # 5,376 slots for 5,212 nodes
+_XT4_DIMS: Tuple[int, int, int] = (14, 16, 29)  # 6,496 slots for 6,296 nodes
+_COMBINED_DIMS: Tuple[int, int, int] = (28, 16, 26)  # XT3+XT4 combined, 11,648
+
+
+def xt3(mode: "Mode | str" = Mode.SN) -> Machine:
+    """The original single-core 2.4 GHz ORNL Cray XT3 (5,212 sockets)."""
+    return Machine(
+        name="XT3",
+        node=NodeSpec(processor=OPTERON_SC_24, memory=DDR_400, nic=SEASTAR),
+        torus_dims=_XT3_DIMS,
+        mode=parse_mode(mode),
+        commissioned="2005",
+        notes="single-core; SN and VN are equivalent on this system",
+    )
+
+
+def xt3_dc(mode: "Mode | str" = Mode.SN) -> Machine:
+    """The 2006 dual-core upgrade: 2.6 GHz dual-core Opteron, DDR-400."""
+    return Machine(
+        name="XT3-DC",
+        node=NodeSpec(processor=OPTERON_DC_26_REV_E, memory=DDR_400, nic=SEASTAR),
+        torus_dims=_XT3_DIMS,
+        mode=parse_mode(mode),
+        commissioned="2006",
+        notes="dual-core upgrade; memory bandwidth unchanged from XT3",
+    )
+
+
+def xt4(mode: "Mode | str" = Mode.SN) -> Machine:
+    """The winter 2006/2007 XT4 cabinets: Rev F Opteron, DDR2-667, SeaStar2."""
+    return Machine(
+        name="XT4",
+        node=NodeSpec(processor=OPTERON_DC_26_REV_F, memory=DDR2_667, nic=SEASTAR2),
+        torus_dims=_XT4_DIMS,
+        mode=parse_mode(mode),
+        commissioned="2006/2007",
+        notes="68 cabinets; co-exists with XT3 cabinets on one network",
+    )
+
+
+def xt3_xt4_combined(mode: "Mode | str" = Mode.VN) -> Machine:
+    """The combined XT3+XT4 system used for >10k-task POP/AORSA runs.
+
+    Modelled with XT4 node parameters but the conservative SeaStar link
+    bandwidth (jobs spanning both halves are limited by the slower hardware
+    on shared routes).
+    """
+    nic = NICSpec(
+        name="SeaStar/SeaStar2 mixed",
+        injection_bw_GBs=SEASTAR2.injection_bw_GBs,
+        sustained_link_bw_GBs=SEASTAR.sustained_link_bw_GBs,
+        peak_link_bw_GBs=SEASTAR.peak_link_bw_GBs,
+        mpi_latency_us=SEASTAR2.mpi_latency_us,
+        mpi_bw_efficiency=SEASTAR2.mpi_bw_efficiency,
+        vn_latency_add_us=SEASTAR2.vn_latency_add_us,
+        vn_contention_max_add_us=SEASTAR2.vn_contention_max_add_us,
+    )
+    return Machine(
+        name="XT3/4",
+        node=NodeSpec(processor=OPTERON_DC_26_REV_F, memory=DDR2_667, nic=nic),
+        torus_dims=_COMBINED_DIMS,
+        mode=parse_mode(mode),
+        commissioned="2007",
+        notes="combined-system runs (POP > 10k tasks, AORSA 16k/22.5k cores)",
+    )
+
+
+def xt4_quadcore(mode: "Mode | str" = Mode.VN) -> Machine:
+    """Projected quad-core XT4 site upgrade (paper §2 socket rationale,
+    §7 future work). 2.1 GHz Barcelona-class cores, DDR2-800, SeaStar2.
+
+    Not a paper measurement: this configuration drives the repository's
+    multi-core extension study (``experiments.ext_multicore``), asking
+    the paper's own question — what does the fourth core buy each
+    locality class when the memory controller and NIC stay per-socket?
+    """
+    return Machine(
+        name="XT4-QC",
+        node=NodeSpec(
+            processor=OPTERON_QC_21_BARCELONA, memory=DDR2_800, nic=SEASTAR2
+        ),
+        torus_dims=_XT4_DIMS,
+        mode=parse_mode(mode),
+        commissioned="projection",
+        notes="quad-core projection; shares SeaStar2 and the per-socket "
+        "memory controller with the measured XT4",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel locality profiles (HPCC §5.1: four corners of the locality space)
+# ---------------------------------------------------------------------------
+# CAL dgemm: 0.92 of peak → XT3 ≈ 4.4 GFLOPS, XT4 ≈ 4.8 (Fig. 5); near-zero
+#   memory traffic (high temporal+spatial locality).
+# CAL fft: fitted to Fig. 4 (XT3 ≈ 0.52, XT4-SN ≈ 0.65): compute efficiency
+#   0.157 of peak with 2.0 bytes/flop of memory traffic. The fit lands on
+#   XT3 ≈ 0.55 / XT4 ≈ 0.65 (+19%, paper +25%) while keeping the VN-EP
+#   degradation small (≈16%) as the paper reports ("little degradation");
+#   a 2-parameter roofline cannot hit all three observations exactly and we
+#   weight the qualitative EP behaviour over the last 6% of the SP ratio.
+
+PROFILES: Dict[str, WorkloadProfile] = {
+    "dgemm": WorkloadProfile("dgemm", bytes_per_flop=0.02, compute_efficiency=0.92),
+    "fft": WorkloadProfile("fft", bytes_per_flop=2.0, compute_efficiency=0.157),
+    "hpl": WorkloadProfile("hpl", bytes_per_flop=0.04, compute_efficiency=0.90),
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+#: Socket counts as published in Table 1 (the torus extents above enclose
+#: them; use these for per-system capacity figures).
+PUBLISHED_SOCKETS = {"XT3": 5212, "XT3-DC": 5212, "XT4": 6296}
+
+
+def table1_rows() -> List[dict]:
+    """Regenerate the paper's Table 1 from the machine specs."""
+    rows = []
+    for factory in (xt3, xt3_dc, xt4):
+        m = factory()
+        sockets = PUBLISHED_SOCKETS[m.name]
+        rows.append(
+            {
+                "system": m.name,
+                "processor": f"{m.node.processor.clock_ghz}GHz "
+                + ("single-core" if m.node.cores == 1 else "dual-core")
+                + " Opteron",
+                "processor_sockets": sockets,
+                "processor_cores": sockets * m.node.cores,
+                "memory": m.node.memory.name,
+                "memory_capacity": f"{m.node.memory_capacity_gb_per_core:g}GB/core",
+                "memory_bandwidth_GBs": m.node.memory.peak_bw_GBs,
+                "interconnect": m.node.nic.name,
+                "network_injection_bandwidth_GBs": m.node.nic.injection_bw_GBs,
+            }
+        )
+    return rows
+
+
+#: Names of the non-XT comparison systems (details in machine.platforms).
+COMPARISON_SYSTEMS = ("X1E", "EarthSimulator", "p690", "p575", "SP")

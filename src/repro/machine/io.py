@@ -1,0 +1,88 @@
+"""Machine configuration serialization (JSON).
+
+Lets users define *their own* system configurations — a what-if XT with
+faster memory, a different torus, a hypothetical NIC — persist them, and
+run the full benchmark/experiment stack against them. Round-trips every
+spec dataclass exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.machine.modes import parse_mode
+from repro.machine.specs import (
+    Machine,
+    MemorySpec,
+    NICSpec,
+    NodeSpec,
+    ProcessorSpec,
+)
+
+_SCHEMA_VERSION = 1
+
+
+def machine_to_dict(machine: Machine) -> Dict[str, Any]:
+    """Plain-dict form of a machine (JSON-safe)."""
+    node = machine.node
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "name": machine.name,
+        "mode": str(machine.mode),
+        "torus_dims": list(machine.torus_dims),
+        "commissioned": machine.commissioned,
+        "notes": machine.notes,
+        "node": {
+            "memory_capacity_gb_per_core": node.memory_capacity_gb_per_core,
+            "processor": vars_of(node.processor),
+            "memory": vars_of(node.memory),
+            "nic": vars_of(node.nic),
+        },
+    }
+
+
+def vars_of(spec: Any) -> Dict[str, Any]:
+    """Field dict of a frozen spec dataclass."""
+    return {k: getattr(spec, k) for k in spec.__dataclass_fields__}
+
+
+def machine_from_dict(data: Dict[str, Any]) -> Machine:
+    """Inverse of :func:`machine_to_dict`; validates the schema version."""
+    version = data.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported machine schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    try:
+        node_data = data["node"]
+        node = NodeSpec(
+            processor=ProcessorSpec(**node_data["processor"]),
+            memory=MemorySpec(**node_data["memory"]),
+            nic=NICSpec(**node_data["nic"]),
+            memory_capacity_gb_per_core=node_data["memory_capacity_gb_per_core"],
+        )
+        return Machine(
+            name=data["name"],
+            node=node,
+            torus_dims=tuple(data["torus_dims"]),
+            mode=parse_mode(data["mode"]),
+            commissioned=data.get("commissioned", ""),
+            notes=data.get("notes", ""),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed machine description: {exc}") from exc
+
+
+def save_machine(machine: Machine, path: Union[str, pathlib.Path]) -> None:
+    """Write a machine description to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(machine_to_dict(machine), indent=2) + "\n"
+    )
+
+
+def load_machine(path: Union[str, pathlib.Path]) -> Machine:
+    """Read a machine description from a JSON file."""
+    return machine_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,109 @@
+"""Shared memory-controller contention model.
+
+The AMD Opteron used in the XT3/XT4 has its memory controller on the CPU
+die, *one per socket* regardless of core count (paper §2). The paper's
+node-local results (Figures 4–7) are all consequences of that sharing:
+
+* a single core can nearly saturate the controller, so streaming workloads
+  gain almost nothing from the second core;
+* random-access (latency/concurrency-bound) throughput is a per-socket
+  quantity: splitting it across two cores halves the per-core rate;
+* high-temporal-locality kernels barely touch memory and scale per core.
+
+This module turns those observations into a small quantitative model used
+by every benchmark and application model in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.specs import MemorySpec, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Rates achievable through one socket's memory controller.
+
+    :param spec: the memory subsystem.
+    :param cores: cores per socket physically present.
+    """
+
+    spec: MemorySpec
+    cores: int
+
+    def _check_active(self, active_cores: int) -> None:
+        if not 1 <= active_cores <= self.cores:
+            raise ValueError(
+                f"active_cores={active_cores} outside 1..{self.cores}"
+            )
+
+    # -- streaming --------------------------------------------------------
+    def per_core_bandwidth_GBs(self, active_cores: int) -> float:
+        """Memory bandwidth available to each of ``active_cores`` busy cores.
+
+        One core alone draws ``single_core_bw`` (≈ the socket achievable
+        bandwidth — the saturation observation); multiple bandwidth-hungry
+        cores split the socket achievable bandwidth evenly.
+        """
+        self._check_active(active_cores)
+        fair_share = self.spec.achievable_bw_GBs / active_cores
+        return min(self.spec.single_core_bw_GBs, fair_share)
+
+    def stream_triad_GBs(self, active_cores: int) -> float:
+        """STREAM-triad bandwidth per active core (HPCC Stream, Fig. 7)."""
+        return self.per_core_bandwidth_GBs(active_cores)
+
+    # -- random access ----------------------------------------------------
+    def random_access_gups(self, active_cores: int) -> float:
+        """HPCC RandomAccess updates per second (GUPS) *per active core*.
+
+        The sustainable random-update rate is a property of the socket
+        (latency × concurrency of the controller), so the per-core value is
+        the socket rate divided by the number of active cores (Fig. 6).
+        """
+        self._check_active(active_cores)
+        return self.spec.random_update_rate_gups / active_cores
+
+    # -- roofline workloads -------------------------------------------------
+    def workload_rate_gflops(
+        self,
+        profile: WorkloadProfile,
+        peak_gflops_core: float,
+        active_cores: int,
+    ) -> float:
+        """Per-core flop rate for a kernel with the given locality profile.
+
+        Serial-roofline form: each flop costs compute time at
+        ``peak × compute_efficiency`` plus memory time for its
+        ``bytes_per_flop`` of off-socket traffic at the contended per-core
+        bandwidth. High-temporal-locality kernels (tiny ``bytes_per_flop``)
+        are insensitive to sharing; streaming kernels inherit the
+        bandwidth split.
+        """
+        self._check_active(active_cores)
+        compute_rate = peak_gflops_core * profile.compute_efficiency
+        seconds_per_gflop = 1.0 / compute_rate
+        if profile.bytes_per_flop > 0:
+            bw = self.per_core_bandwidth_GBs(active_cores)
+            seconds_per_gflop += profile.bytes_per_flop / bw
+        return 1.0 / seconds_per_gflop
+
+    def workload_time_s(
+        self,
+        flops: float,
+        profile: WorkloadProfile,
+        peak_gflops_core: float,
+        active_cores: int,
+    ) -> float:
+        """Seconds for one core to retire ``flops`` under contention."""
+        if flops < 0:
+            raise ValueError("flops must be >= 0")
+        rate = self.workload_rate_gflops(profile, peak_gflops_core, active_cores)
+        return flops / (rate * 1.0e9)
+
+    def bytes_time_s(self, nbytes: float, active_cores: int) -> float:
+        """Seconds for one core to move ``nbytes`` of streaming traffic."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return nbytes / (self.per_core_bandwidth_GBs(active_cores) * 1.0e9)

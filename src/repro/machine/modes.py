@@ -1,0 +1,37 @@
+"""Catamount execution modes.
+
+The Cray XT3/XT4 compute nodes run the Catamount light-weight kernel in one
+of two modes (paper §2):
+
+* **SN** ("single/serial node") — one MPI task per node; the task owns the
+  whole node: the full memory capacity/bandwidth and exclusive NIC access.
+* **VN** ("virtual node") — one MPI task per core (two per dual-core
+  socket); memory capacity is split evenly, the memory controller is shared,
+  and NIC access is asymmetric: one core services the NIC and is interrupted
+  by the other core's messages, raising effective MPI latency and splitting
+  injection bandwidth.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(str, enum.Enum):
+    """Node execution mode (Catamount)."""
+
+    SN = "SN"
+    VN = "VN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def parse_mode(mode: "Mode | str") -> Mode:
+    """Accept a :class:`Mode` or its string name (case-insensitive)."""
+    if isinstance(mode, Mode):
+        return mode
+    try:
+        return Mode(str(mode).upper())
+    except ValueError as exc:
+        raise ValueError(f"unknown execution mode {mode!r}; expected SN or VN") from exc

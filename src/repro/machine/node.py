@@ -1,0 +1,72 @@
+"""Discrete-event view of a compute node.
+
+A :class:`Node` charges simulated time for computation through the machine's
+memory/core model, and owns the NIC injection resources that the network
+layer serializes traffic through. Contention between the two cores of a
+socket for *memory* is modelled statically from the execution mode (the
+fair-share assumption documented in :mod:`repro.machine.memorymodel`);
+contention for the *NIC* is modelled dynamically with per-node resources.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.machine.configs import PROFILES
+from repro.machine.processor import CoreModel
+from repro.machine.specs import Machine, WorkloadProfile
+from repro.simengine import Delay, Resource, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class Node:
+    """One compute node instantiated inside a simulation."""
+
+    __slots__ = ("sim", "machine", "node_id", "coord", "core_model", "nic_tx", "nic_rx")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        node_id: int,
+        coord: tuple[int, int, int] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.node_id = node_id
+        self.coord = coord
+        self.core_model = CoreModel(machine)
+        # The HyperTransport/NIC injection path is a single serial resource
+        # per direction; in VN mode both cores' messages funnel through it.
+        self.nic_tx = Resource(sim, capacity=1, name=f"node{node_id}.nic_tx")
+        self.nic_rx = Resource(sim, capacity=1, name=f"node{node_id}.nic_rx")
+
+    def compute(
+        self,
+        flops: float,
+        profile: "WorkloadProfile | str" = "dgemm",
+        active_cores: Optional[int] = None,
+    ):
+        """Process-helper: charge time for ``flops`` of the given kernel.
+
+        Use as ``yield from node.compute(1e9, "fft")``.
+        """
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        dt = self.core_model.time_s(flops, profile, active_cores)
+        yield Delay(dt)
+        return dt
+
+    def stream_bytes(self, nbytes: float, active_cores: Optional[int] = None):
+        """Process-helper: charge time for streaming ``nbytes`` from memory."""
+        active = (
+            self.machine.active_cores_per_node if active_cores is None else active_cores
+        )
+        dt = self.core_model.memory.bytes_time_s(nbytes, active)
+        yield Delay(dt)
+        return dt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id} of {self.machine.name}>"

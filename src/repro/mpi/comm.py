@@ -1,0 +1,365 @@
+"""The simulated communicator (mpi4py-flavoured, generator-based)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from repro.mpi.datatypes import payload_nbytes, reduce_values
+from repro.mpi.request import Request
+from repro.simengine import Delay, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.job import MPIJob
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class _Msg:
+    __slots__ = ("source", "tag", "obj")
+
+    def __init__(self, source: int, tag: int, obj: Any) -> None:
+        self.source = source
+        self.tag = tag
+        self.obj = obj
+
+
+class Comm:
+    """One rank's view of the job communicator.
+
+    All communication methods are process-helpers: call them with
+    ``yield from`` inside a rank generator. Payloads are delivered intact;
+    the simulated wall clock advances by the modelled cost.
+    """
+
+    def __init__(self, job: "MPIJob", rank: int) -> None:
+        self.job = job
+        self.rank = rank
+        self.size = job.ntasks
+        self._inbox = Store(job.sim, name=f"inbox[{rank}]")
+        self._coll_seq = 0
+        self._group_key: Any = "world"
+
+    # -- group plumbing (overridden by SubComm) -------------------------------
+    def _costs(self):
+        return self.job.costs
+
+    def _root_comm(self) -> "Comm":
+        return self
+
+    def _world_rank_of(self, rank: int) -> int:
+        return rank
+
+    # -- clock ----------------------------------------------------------------
+    def wtime(self) -> float:
+        """Current simulated time (MPI_Wtime)."""
+        return self.job.sim.now
+
+    # -- local compute ----------------------------------------------------------
+    def compute(self, flops: float, profile: str = "dgemm"):
+        """Charge local computation time for ``flops`` of the given kernel,
+        under this rank's static memory-sharing environment."""
+        dt = self.job.compute_time_s(self.rank, flops, profile)
+        yield Delay(dt)
+        return dt
+
+    def stream(self, nbytes: float):
+        """Charge local streaming-memory time for ``nbytes`` of traffic."""
+        dt = self.job.stream_time_s(self.rank, nbytes)
+        yield Delay(dt)
+        return dt
+
+    # -- point to point -----------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"rank {peer} outside communicator of size {self.size}")
+
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Request:
+        """Start a nonblocking send; returns a :class:`Request`."""
+        self._check_peer(dest)
+        n = payload_nbytes(obj) if nbytes is None else int(nbytes)
+        done = self.job.sim.event(name=f"isend {self.rank}->{dest}")
+        self.job.sim.spawn(
+            self._transfer(obj, dest, tag, n, done),
+            name=f"xfer {self.rank}->{dest}",
+        )
+        return Request(done)
+
+    def _transfer(self, obj: Any, dest: int, tag: int, nbytes: int, done):
+        job = self.job
+        src_node = job.placement.node_of(self.rank)
+        dst_node = job.placement.node_of(dest)
+        latency = job.message_latency_s(self.rank, dest)
+        yield from job.network.transfer(src_node, dst_node, nbytes, latency)
+        job.comms[dest]._inbox.put(_Msg(self.rank, tag, obj))
+        done.succeed(None)
+
+    def send(self, obj: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """Blocking send: returns once the message is fully injected and
+        delivered (conservative synchronous semantics)."""
+        req = self.isend(obj, dest, tag, nbytes)
+        yield req.event
+
+    def _match(self, source: int, tag: int) -> Callable[[_Msg], bool]:
+        return lambda m: (source == ANY_SOURCE or m.source == source) and (
+            tag == ANY_TAG or m.tag == tag
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Start a nonblocking receive; the request's value is the payload."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        inner = self._inbox.get(self._match(source, tag))
+        outer = self.job.sim.event(name=f"irecv @{self.rank}")
+        inner.add_callback(lambda e: outer.succeed(e.value.obj))
+        return Request(outer)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload object."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        msg = yield self._inbox.get(self._match(source, tag))
+        return msg.obj
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns ``(payload, source, tag)``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        msg = yield self._inbox.get(self._match(source, tag))
+        return msg.obj, msg.source, msg.tag
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: Optional[int] = None,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ):
+        """Simultaneous exchange; returns the received payload."""
+        req = self.isend(obj, dest, tag, nbytes)
+        data = yield from self.recv(dest if source is None else source, tag)
+        yield req.event
+        return data
+
+    # -- collectives ----------------------------------------------------------------
+    def _collective(
+        self,
+        kind: str,
+        value: Any,
+        combine: Callable[[Dict[int, Any]], Any],
+        cost_fn: Callable[[Dict[int, Any]], float],
+    ):
+        seq = self._coll_seq
+        self._coll_seq += 1
+        ctx = self.job.collective_ctx(self._group_key, seq, kind, self.size)
+        ctx.values[self.rank] = value
+        ctx.count += 1
+        if ctx.count == self.size:
+            result = combine(ctx.values)
+            cost = cost_fn(ctx.values)
+            self.job.sim.schedule(cost, lambda: ctx.event.succeed(result))
+        result = yield ctx.event
+        return result
+
+    def dup(self):
+        """MPI_Comm_dup: a communicator with the same group but a private
+        collective sequence space (libraries use this to keep their
+        collectives from interleaving with the application's)."""
+        result = yield from self.split(color=0, key=self.rank)
+        return result
+
+    def split(self, color: Any, key: Optional[int] = None):
+        """MPI_Comm_split: partition this communicator by ``color``.
+
+        Every rank must call it; ranks passing ``color=None`` opt out (as
+        with ``MPI_UNDEFINED``) and receive ``None``. Within a colour,
+        ranks order by ``key`` (default: current rank). Returns a
+        :class:`~repro.mpi.subcomm.SubComm` supporting the full API.
+        """
+        from repro.mpi.subcomm import SubComm
+
+        seq = self._coll_seq  # captured before _collective advances it
+        entry = (color, self.rank if key is None else key)
+        mapping = yield from self._collective(
+            "split",
+            entry,
+            lambda v: dict(v),
+            lambda v: self._costs().allgather_s(16),
+        )
+        if color is None:
+            return None
+        members = sorted(
+            (r for r in range(self.size) if mapping[r][0] == color),
+            key=lambda r: (mapping[r][1], r),
+        )
+        group_key = (self._group_key, "split", seq, color)
+        world_ranks = [self._world_rank_of(r) for r in members]
+        return SubComm(self._root_comm(), group_key, world_ranks)
+
+    def barrier(self):
+        """MPI_Barrier."""
+        yield from self._collective(
+            "barrier", None, lambda v: None, lambda v: self._costs().barrier_s()
+        )
+
+    def bcast(self, obj: Any = None, root: int = 0):
+        """MPI_Bcast: every rank returns the root's object."""
+        self._check_peer(root)
+        result = yield from self._collective(
+            "bcast",
+            obj if self.rank == root else None,
+            lambda v: v[root],
+            lambda v: self._costs().bcast_s(payload_nbytes(v[root])),
+        )
+        return result
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0):
+        """MPI_Reduce: the root returns the combined value, others None."""
+        self._check_peer(root)
+        result = yield from self._collective(
+            "reduce",
+            value,
+            lambda v: reduce_values([v[r] for r in range(self.size)], op),
+            lambda v: self._costs().reduce_s(payload_nbytes(v[0])),
+        )
+        return result if self.rank == root else None
+
+    def allreduce(self, value: Any, op: str = "sum"):
+        """MPI_Allreduce: every rank returns the combined value."""
+        result = yield from self._collective(
+            "allreduce",
+            value,
+            lambda v: reduce_values([v[r] for r in range(self.size)], op),
+            lambda v: self._costs().allreduce_s(payload_nbytes(v[0])),
+        )
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        """MPI_Gather: root returns the list of per-rank values."""
+        self._check_peer(root)
+        result = yield from self._collective(
+            "gather",
+            value,
+            lambda v: [v[r] for r in range(self.size)],
+            lambda v: self._costs().gather_s(
+                max(payload_nbytes(x) for x in v.values())
+            ),
+        )
+        return result if self.rank == root else None
+
+    def allgather(self, value: Any):
+        """MPI_Allgather: every rank returns the list of per-rank values."""
+        result = yield from self._collective(
+            "allgather",
+            value,
+            lambda v: [v[r] for r in range(self.size)],
+            lambda v: self._costs().allgather_s(
+                max(payload_nbytes(x) for x in v.values())
+            ),
+        )
+        return result
+
+    def scatter(self, values: Optional[Sequence[Any]] = None, root: int = 0):
+        """MPI_Scatter: root supplies one value per rank."""
+        self._check_peer(root)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError("root must supply exactly one value per rank")
+        result = yield from self._collective(
+            "scatter",
+            list(values) if self.rank == root else None,
+            lambda v: v[root],
+            lambda v: self._costs().scatter_s(
+                max(payload_nbytes(x) for x in v[root])
+            ),
+        )
+        return result[self.rank]
+
+    def reduce_scatter(self, values: Sequence[Any], op: str = "sum"):
+        """MPI_Reduce_scatter: elementwise-reduce the per-rank lists and
+        hand slot ``i`` of the combined list to rank ``i``."""
+        if len(values) != self.size:
+            raise ValueError("reduce_scatter requires one value per rank")
+        combined = yield from self._collective(
+            "reduce_scatter",
+            list(values),
+            lambda v: [
+                reduce_values([v[r][slot] for r in range(self.size)], op)
+                for slot in range(self.size)
+            ],
+            lambda v: self._costs().reduce_scatter_s(
+                max(
+                    sum(payload_nbytes(x) for x in row)
+                    for row in v.values()
+                )
+            ),
+        )
+        return combined[self.rank]
+
+    def scan(self, value: Any, op: str = "sum"):
+        """MPI_Scan: inclusive prefix reduction over rank order."""
+        prefixes = yield from self._collective(
+            "scan",
+            value,
+            lambda v: [
+                reduce_values([v[r] for r in range(upto + 1)], op)
+                for upto in range(self.size)
+            ],
+            lambda v: self._costs().scan_s(payload_nbytes(v[0])),
+        )
+        return prefixes[self.rank]
+
+    def exscan(self, value: Any, op: str = "sum"):
+        """MPI_Exscan: exclusive prefix reduction (rank 0 returns None)."""
+        prefixes = yield from self._collective(
+            "exscan",
+            value,
+            lambda v: [None]
+            + [
+                reduce_values([v[r] for r in range(upto + 1)], op)
+                for upto in range(self.size - 1)
+            ],
+            lambda v: self._costs().scan_s(payload_nbytes(v[0])),
+        )
+        return prefixes[self.rank]
+
+    def alltoall(self, values: Sequence[Any]):
+        """MPI_Alltoall: rank i's element j goes to rank j's slot i."""
+        if len(values) != self.size:
+            raise ValueError("alltoall requires one value per rank")
+        matrix = yield from self._collective(
+            "alltoall",
+            list(values),
+            lambda v: v,
+            lambda v: self._costs().alltoall_s(
+                max(
+                    payload_nbytes(x)
+                    for row in v.values()
+                    for x in row
+                )
+            ),
+        )
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+    def alltoallv(self, values: Sequence[Any]):
+        """MPI_Alltoallv: like alltoall but costs follow the heaviest rank."""
+        if len(values) != self.size:
+            raise ValueError("alltoallv requires one value per rank")
+        matrix = yield from self._collective(
+            "alltoallv",
+            list(values),
+            lambda v: v,
+            lambda v: self._costs().alltoallv_s(
+                max(
+                    sum(payload_nbytes(x) for x in row)
+                    for row in v.values()
+                )
+            ),
+        )
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Comm rank {self.rank}/{self.size} on {self.job.machine}>"

@@ -1,0 +1,72 @@
+"""Payload sizing and reduction operators for the simulated MPI."""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable, List, Sequence
+
+import numpy as np
+
+#: Fallback wire size for objects whose size cannot be derived structurally.
+_DEFAULT_OBJ_NBYTES = 64
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size in bytes of a message payload.
+
+    NumPy arrays and scalars report their buffer sizes; ``bytes`` report
+    their length; numbers count as 8 bytes; containers sum their elements.
+    Anything else falls back to its pickle length (mirroring mpi4py's
+    pickle path for generic objects).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, complex)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj))
+    except Exception:  # pragma: no cover - exotic unpicklable objects
+        return _DEFAULT_OBJ_NBYTES
+
+
+_OPS = {
+    "sum": lambda acc, x: acc + x,
+    "prod": lambda acc, x: acc * x,
+    "max": lambda acc, x: np.maximum(acc, x),
+    "min": lambda acc, x: np.minimum(acc, x),
+}
+
+
+def reduce_values(values: Sequence[Any], op: str = "sum") -> Any:
+    """Combine per-rank contributions with an MPI reduction operator.
+
+    Works elementwise on NumPy arrays and on scalars. ``max``/``min`` on
+    plain Python scalars return Python scalars.
+    """
+    if op not in _OPS:
+        raise ValueError(f"unknown reduction op {op!r}; choose from {sorted(_OPS)}")
+    if not values:
+        raise ValueError("cannot reduce an empty value list")
+    it = iter(values)
+    acc = next(it)
+    if isinstance(acc, np.ndarray):
+        acc = acc.copy()
+    fn = _OPS[op]
+    for v in it:
+        acc = fn(acc, v)
+    if op in ("max", "min") and not isinstance(acc, np.ndarray):
+        # numpy.maximum on scalars yields numpy scalars; normalize.
+        acc = acc.item() if isinstance(acc, np.generic) else acc
+    return acc

@@ -1,0 +1,194 @@
+"""MPI job launcher: places ranks on a machine and runs them to completion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.machine.configs import PROFILES
+from repro.machine.processor import CoreModel
+from repro.machine.specs import Machine
+from repro.mpi.comm import Comm
+from repro.mpi.costmodels import CollectiveCostModel
+from repro.network.mapping import Placement
+from repro.network.model import NetworkModel
+from repro.network.simnet import SimNetwork
+from repro.simengine import Simulator
+
+#: Window within which a node's other task counts as "actively messaging"
+#: for the VN NIC-interrupt contention term (covers ping-pong alternation).
+_ACTIVITY_WINDOW_S = 20.0e-6
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    machine: str
+    mode: str
+    ntasks: int
+    elapsed_s: float
+    rank_times: List[float]
+    returns: List[Any]
+
+    @property
+    def max_rank_time_s(self) -> float:
+        return max(self.rank_times)
+
+    @property
+    def min_rank_time_s(self) -> float:
+        return min(self.rank_times)
+
+
+class _CollCtx:
+    __slots__ = ("kind", "values", "event", "count", "expected")
+
+    def __init__(self, sim: Simulator, kind: str, expected: int) -> None:
+        self.kind = kind
+        self.values: Dict[int, Any] = {}
+        self.event = sim.event(name=f"coll:{kind}")
+        self.count = 0
+        self.expected = expected
+
+
+class MPIJob:
+    """A set of simulated MPI ranks on a machine.
+
+    :param machine: target system bound to an execution mode.
+    :param ntasks: MPI tasks (≤ ``machine.max_tasks``).
+    :param placement: ``contiguous`` or ``random`` rank layout.
+    :param rank_main: supplied to :meth:`run`: a generator function
+        ``rank_main(comm, *args, **kwargs)`` executed by every rank.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        ntasks: int,
+        placement: str = "contiguous",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.machine = machine
+        self.ntasks = ntasks
+        self.sim = Simulator()
+        self.placement = Placement(machine, ntasks, strategy=placement, seed=seed)
+        self.network = SimNetwork(self.sim, machine)
+        self.model = NetworkModel(machine)
+        self.costs = CollectiveCostModel.for_machine(self.model, ntasks)
+        self.core_model = CoreModel(machine)
+        self.comms: List[Comm] = [Comm(self, r) for r in range(ntasks)]
+        self._coll: Dict[Tuple[Any, int, str], _CollCtx] = {}
+        self._node_last_tx: Dict[int, float] = {}
+
+    # -- latency / contention ------------------------------------------------
+    def message_latency_s(self, src_rank: int, dst_rank: int) -> float:
+        """End-to-end zero-byte latency for a message sent *now*.
+
+        Static part: base NIC latency + hop latency + the VN surcharge when
+        the sender or receiver shares its node with another job task.
+        Dynamic part: the full interrupt-contention term when the sharing
+        task has itself driven the NIC within the recent activity window.
+        """
+        p = self.placement
+        hops = p.hops(src_rank, dst_rank)
+        if hops == 0:
+            return 0.0  # intra-node path is priced by the network itself
+        sharing = max(p.tasks_sharing_nic(src_rank), p.tasks_sharing_nic(dst_rank))
+        contended = 0.0
+        if sharing > 1:
+            now = self.sim.now
+            for rank in (src_rank, dst_rank):
+                node = p.node_of(rank)
+                last = self._node_last_tx.get(node)
+                if last is not None and now - last <= _ACTIVITY_WINDOW_S:
+                    contended = 1.0
+                    break
+        lat = self.model.base_latency_s(
+            hops=hops,
+            contended_fraction=contended,
+            job_nodes=max(2, p.num_nodes_used),
+        )
+        if sharing > 1:
+            self._note_tx(p.node_of(src_rank))
+            self._note_tx(p.node_of(dst_rank))
+        return lat
+
+    def _note_tx(self, node: int) -> None:
+        self._node_last_tx[node] = self.sim.now
+
+    # -- local compute -------------------------------------------------------
+    def _active_cores(self, rank: int) -> int:
+        return min(
+            self.placement.tasks_sharing_nic(rank), self.machine.node.cores
+        )
+
+    def compute_time_s(self, rank: int, flops: float, profile: str) -> float:
+        prof = PROFILES[profile] if isinstance(profile, str) else profile
+        return self.core_model.time_s(flops, prof, self._active_cores(rank))
+
+    def stream_time_s(self, rank: int, nbytes: float) -> float:
+        return self.core_model.memory.bytes_time_s(nbytes, self._active_cores(rank))
+
+    # -- collectives -----------------------------------------------------------
+    def collective_ctx(
+        self, group_key: Any, seq: int, kind: str, size: int
+    ) -> _CollCtx:
+        """Rendezvous context for collective #``seq`` of a communicator
+        group (the world communicator or a :func:`Comm.split` product)."""
+        key = (group_key, seq, kind)
+        ctx = self._coll.get(key)
+        if ctx is None:
+            # Detect mismatched collective ordering across the group.
+            for (other_group, other_seq, other_kind) in self._coll:
+                if other_group == group_key and other_seq == seq and other_kind != kind:
+                    raise RuntimeError(
+                        f"collective mismatch at sequence {seq}: "
+                        f"{other_kind} vs {kind}"
+                    )
+            ctx = _CollCtx(self.sim, kind, size)
+            self._coll[key] = ctx
+        if ctx.expected != size:  # pragma: no cover - defensive
+            raise RuntimeError("collective group size mismatch")
+        return ctx
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        rank_main: Callable[..., Any],
+        *args: Any,
+        max_events: int = 0,
+        **kwargs: Any,
+    ) -> JobResult:
+        """Run ``rank_main(comm, *args, **kwargs)`` on every rank.
+
+        Returns a :class:`JobResult` with per-rank completion times (from
+        simulated t=0) and return values. ``max_events`` (0 = unlimited)
+        aborts runaway rank programs after that many simulation events.
+        """
+        finish: List[float] = [0.0] * self.ntasks
+        returns: List[Any] = [None] * self.ntasks
+        done: List[bool] = [False] * self.ntasks
+
+        def wrapper(rank: int):
+            result = yield from rank_main(self.comms[rank], *args, **kwargs)
+            finish[rank] = self.sim.now
+            returns[rank] = result
+            done[rank] = True
+
+        for r in range(self.ntasks):
+            self.sim.spawn(wrapper(r), name=f"rank{r}")
+        self.sim.run(max_events=max_events)
+        if not all(done):
+            stuck = [r for r, d in enumerate(done) if not d]
+            raise RuntimeError(
+                f"job deadlocked: ranks {stuck[:8]}{'...' if len(stuck) > 8 else ''} "
+                "never completed (unmatched recv or collective?)"
+            )
+        return JobResult(
+            machine=self.machine.name,
+            mode=str(self.machine.mode),
+            ntasks=self.ntasks,
+            elapsed_s=max(finish),
+            rank_times=finish,
+            returns=returns,
+        )

@@ -1,0 +1,132 @@
+"""Discrete-event SeaStar network with explicit NIC and link contention.
+
+A message transfer is a simulation process that
+
+1. waits out the end-to-end latency (computed by the caller, typically
+   from :class:`~repro.network.model.NetworkModel`, so VN NIC-sharing
+   surcharges are included);
+2. acquires the source NIC injection port, every directed torus link on
+   the dimension-order route, and the destination NIC ejection port —
+   in a single global canonical order, which makes the acquisition
+   deadlock-free by construction;
+3. holds them all for ``nbytes / bottleneck_bandwidth`` — a pipelined
+   (wormhole-like) occupancy model: concurrent messages sharing any
+   segment serialize exactly once.
+
+Intra-node messages (two cores of one socket, VN mode) bypass the NIC:
+Catamount implements them as a memory copy (paper §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.machine.specs import GIGA, MICRO, Machine
+from repro.network.topology import Link, Torus3D
+from repro.simengine import Delay, Resource, Simulator
+
+#: CAL: latency of the Catamount intra-socket memory-copy message path.
+INTRA_NODE_LATENCY_US = 0.8
+
+
+class SimNetwork:
+    """Message-granularity discrete-event network for a machine."""
+
+    def __init__(self, sim: Simulator, machine: Machine) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.torus = Torus3D(machine.torus_dims)
+        self._nic_tx: Dict[int, Resource] = {}
+        self._nic_rx: Dict[int, Resource] = {}
+        self._links: Dict[Link, Resource] = {}
+        #: Count of completed transfers (diagnostics).
+        self.transfers_completed = 0
+        #: Bytes carried per directed link (hotspot diagnostics).
+        self.link_bytes: Dict[Link, float] = {}
+        #: Accumulated busy seconds per directed link.
+        self.link_busy_s: Dict[Link, float] = {}
+
+    # -- resources (lazily created: machines have thousands of nodes) -------
+    def nic_tx(self, node: int) -> Resource:
+        if node not in self._nic_tx:
+            self._nic_tx[node] = Resource(self.sim, 1, name=f"nic_tx[{node}]")
+        return self._nic_tx[node]
+
+    def nic_rx(self, node: int) -> Resource:
+        if node not in self._nic_rx:
+            self._nic_rx[node] = Resource(self.sim, 1, name=f"nic_rx[{node}]")
+        return self._nic_rx[node]
+
+    def link(self, link: Link) -> Resource:
+        if link not in self._links:
+            self._links[link] = Resource(self.sim, 1, name=f"link{link}")
+        return self._links[link]
+
+    # -- bandwidths -----------------------------------------------------------
+    def bottleneck_bw_GBs(self) -> float:
+        """Per-message path bandwidth: injection derated by MPI efficiency,
+        capped by the sustained link rate."""
+        nic = self.machine.node.nic
+        return min(nic.mpi_bw_GBs, nic.sustained_link_bw_GBs)
+
+    def intranode_bw_GBs(self) -> float:
+        """Memory-copy bandwidth for intra-socket messages (read + write
+        through the shared controller: half the achievable socket rate)."""
+        return self.machine.node.memory.achievable_bw_GBs / 2.0
+
+    # -- transfers ------------------------------------------------------------
+    def transfer(self, src_node: int, dst_node: int, nbytes: float, latency_s: float):
+        """Process-helper: move ``nbytes`` from ``src_node`` to ``dst_node``.
+
+        ``latency_s`` is the end-to-end zero-byte latency (caller supplies
+        it, including any VN surcharge). Use as
+        ``yield from net.transfer(a, b, n, lat)``; returns the completion
+        time.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if src_node == dst_node:
+            yield Delay(INTRA_NODE_LATENCY_US * MICRO)
+            if nbytes:
+                yield Delay(nbytes / (self.intranode_bw_GBs() * GIGA))
+            self.transfers_completed += 1
+            return self.sim.now
+
+        yield Delay(latency_s)
+        route = self.torus.route(src_node, dst_node)
+        resources: List[Tuple[tuple, Resource]] = [
+            (("nic_tx", src_node), self.nic_tx(src_node)),
+            (("nic_rx", dst_node), self.nic_rx(dst_node)),
+        ]
+        for ln in route:
+            resources.append((("link", ln), self.link(ln)))
+        # Global canonical acquisition order => no circular waits.
+        resources.sort(key=lambda kv: repr(kv[0]))
+        acquired: List[Resource] = []
+        try:
+            for _, res in resources:
+                yield res.request()
+                acquired.append(res)
+            if nbytes:
+                hold = nbytes / (self.bottleneck_bw_GBs() * GIGA)
+                yield Delay(hold)
+                for ln in route:
+                    self.link_bytes[ln] = self.link_bytes.get(ln, 0.0) + nbytes
+                    self.link_busy_s[ln] = self.link_busy_s.get(ln, 0.0) + hold
+        finally:
+            for res in reversed(acquired):
+                res.release()
+        self.transfers_completed += 1
+        return self.sim.now
+
+    # -- diagnostics ---------------------------------------------------------
+    def hotspot_report(self, top: int = 5) -> List[Tuple[Link, float]]:
+        """The ``top`` busiest directed links by carried bytes."""
+        ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+    def utilization(self, link: Link) -> float:
+        """Fraction of elapsed simulated time the link was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.link_busy_s.get(link, 0.0) / self.sim.now

@@ -1,0 +1,145 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simengine.event import AllOf, AnyOf, Delay, Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simengine.simulator import Simulator
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process generator when the process is killed."""
+
+
+class Process:
+    """A running simulation activity wrapping a generator.
+
+    The generator advances each time the command it yielded completes. A
+    process is itself waitable: other processes may ``yield proc`` to join
+    it and receive its return value.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "done", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        #: Event triggered with the generator's return value on completion.
+        self.done: Event = Event(sim, name=f"{self.name}.done")
+        self._waiting_on: Optional[Event] = None
+        # First step happens via the scheduler so that spawn() during a
+        # callback cascade preserves deterministic ordering.
+        sim._queue.push(sim.now, lambda: self._step(None))
+
+    # -- public ----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.done.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        self.sim._queue.push(self.sim.now, lambda: self._throw(Interrupt(cause)))
+
+    def kill(self) -> None:
+        """Terminate the process; its ``done`` event fails with ProcessKilled."""
+        if not self.alive:
+            return
+        self._throw(ProcessKilled())
+
+    # -- stepping ---------------------------------------------------------
+    def _step(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            self.done.fail(exc)
+            return
+        self._handle(command)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except (ProcessKilled, Interrupt) as err:
+            self.done.fail(err)
+            return
+        self._handle(command)
+
+    def _handle(self, command: Any) -> None:
+        sim = self.sim
+        if isinstance(command, Delay):
+            sim._queue.push(sim.now + command.dt, lambda: self._step(None))
+        elif isinstance(command, Event):
+            command.add_callback(self._resume_from_event)
+        elif isinstance(command, Process):
+            command.done.add_callback(self._resume_from_event)
+        elif isinstance(command, AllOf):
+            self._wait_all(command)
+        elif isinstance(command, AnyOf):
+            self._wait_any(command)
+        elif command is None:
+            # ``yield`` with no argument: cooperative reschedule "now".
+            sim._queue.push(sim.now, lambda: self._step(None))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _resume_from_event(self, event: Event) -> None:
+        if event.failed:
+            self._throw(event.failure)  # type: ignore[arg-type]
+        else:
+            self._step(event.value)
+
+    def _wait_all(self, barrier: AllOf) -> None:
+        events = [e.done if isinstance(e, Process) else e for e in barrier.events]
+        if not events:
+            self.sim._queue.push(self.sim.now, lambda: self._step([]))
+            return
+        remaining = {"n": len(events)}
+
+        def on_trigger(_evt: Event) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                failures = [e.failure for e in events if e.failed]
+                if failures:
+                    self._throw(failures[0])  # type: ignore[arg-type]
+                else:
+                    self._step([e.value for e in events])
+
+        for evt in events:
+            evt.add_callback(on_trigger)
+
+    def _wait_any(self, race: AnyOf) -> None:
+        events = [e.done if isinstance(e, Process) else e for e in race.events]
+        fired = {"done": False}
+
+        def on_trigger(evt: Event) -> None:
+            if fired["done"]:
+                return
+            fired["done"] = True
+            if evt.failed:
+                self._throw(evt.failure)  # type: ignore[arg-type]
+            else:
+                self._step((events.index(evt), evt.value))
+
+        for evt in events:
+            evt.add_callback(on_trigger)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"

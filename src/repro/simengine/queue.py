@@ -1,0 +1,70 @@
+"""Pending-event priority queue with deterministic tie-breaking."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class _Entry:
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """Min-heap of timed callbacks; FIFO among equal timestamps.
+
+    Entries may be cancelled lazily: :meth:`cancel` marks the entry and
+    :meth:`pop` skips cancelled entries, so cancellation is O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[[], Any]) -> _Entry:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        entry = _Entry(time, next(self._counter), callback)
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Mark ``entry`` so it is skipped when popped."""
+        if not entry.cancelled:
+            entry.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live entry, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Tuple[float, Callable[[], Any]]:
+        """Remove and return ``(time, callback)`` of the earliest live entry."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        entry = heapq.heappop(self._heap)
+        self._live -= 1
+        return entry.time, entry.callback
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,127 @@
+"""Contended resources and buffered stores for the simulation kernel.
+
+``Resource`` models a fixed number of identical service slots with a FIFO
+wait queue — we use it for NIC injection ports, memory-controller channels
+and Lustre server service threads. ``Store`` is an unbounded FIFO of
+items with blocking ``get`` — the building block for MPI receive queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from repro.simengine.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simengine.simulator import Simulator
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO queuing.
+
+    Usage from a process::
+
+        grant = resource.request()
+        yield grant            # waits until a slot is free
+        ...                    # hold the slot
+        resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        evt = self.sim.event(name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            evt.succeed(self)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        """Free one slot, waking the longest-waiting requester if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: in_use stays put.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, hold_time: float):
+        """Process-helper: acquire, hold for ``hold_time``, release.
+
+        Use as ``yield from resource.use(dt)``.
+        """
+        from repro.simengine.event import Delay
+
+        yield self.request()
+        try:
+            yield Delay(hold_time)
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity}"
+            f" q={len(self._waiters)}>"
+        )
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get`` and optional filtering.
+
+    ``put`` never blocks. ``get(match)`` returns an event that succeeds
+    with the first item satisfying ``match`` (FIFO order among matches),
+    waiting if none is present yet.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[tuple] = deque()  # (event, match)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the first compatible waiting getter."""
+        for idx, (evt, match) in enumerate(self._getters):
+            if match is None or match(item):
+                del self._getters[idx]
+                evt.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, match: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event yielding the first matching item."""
+        evt = self.sim.event(name=f"{self.name}.get")
+        for idx, item in enumerate(self._items):
+            if match is None or match(item):
+                del self._items[idx]
+                evt.succeed(item)
+                return evt
+        self._getters.append((evt, match))
+        return evt
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items (for diagnostics/tests)."""
+        return list(self._items)

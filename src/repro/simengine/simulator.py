@@ -1,0 +1,92 @@
+"""The simulation clock and run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.simengine.event import Event
+from repro.simengine.process import Process
+from repro.simengine.queue import EventQueue
+
+
+class Simulator:
+    """Owns the clock and the pending-event queue.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield Delay(1.0)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert sim.now == 1.0 and proc.done.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+
+    # -- construction ------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self, name=name)
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Any:
+        """Run ``callback()`` after ``delay`` sim-seconds; returns a handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self._queue.push(self.now + delay, callback)
+
+    def timeout_event(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that succeeds ``delay`` seconds from now with ``value``."""
+        evt = self.event(name=name or f"timeout({delay})")
+        self.schedule(delay, lambda: evt.succeed(value))
+        return evt
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 0) -> float:
+        """Drain the event queue.
+
+        :param until: stop once the clock would pass this time (the clock is
+            left at ``until``); ``None`` runs to quiescence.
+        :param max_events: optional safety valve; raise if more than this
+            many events are processed (0 = unlimited).
+        :returns: the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                t = self._queue.peek_time()
+                assert t is not None
+                if until is not None and t > until:
+                    self.now = until
+                    return self.now
+                time, callback = self._queue.pop()
+                if time < self.now - 1e-15:
+                    raise RuntimeError(
+                        f"time went backwards: {time} < {self.now}"
+                    )
+                self.now = max(self.now, time)
+                callback()
+                processed += 1
+                if max_events and processed > max_events:
+                    raise RuntimeError(f"exceeded max_events={max_events}")
+            if until is not None:
+                self.now = max(self.now, until)
+            return self.now
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator t={self.now:.9g} pending={len(self._queue)}>"

@@ -1,0 +1,104 @@
+"""AORSA tests: model shapes (Fig. 23) and the spectral mini-solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.aorsa import AORSAModel, SpectralProblem
+from repro.machine import xt3_dc, xt4
+from repro.machine.configs import xt3_xt4_combined
+
+
+# ----------------------------------------------------------------- Figure 23
+def test_solver_efficiency_near_measured_at_4k():
+    # Paper §6.5: 16.7 TFLOPS on 4,096 cores = 78.4% of peak.
+    a = AORSAModel(xt4("VN"), 4096)
+    assert a.solver_efficiency() == pytest.approx(0.784, abs=0.04)
+    assert a.solver_tflops() == pytest.approx(16.7, rel=0.05)
+
+
+def test_efficiency_drops_at_22500_cores():
+    # Paper: "HPL yields only 65% of peak on 22,500 cores for this problem."
+    a = AORSAModel(xt3_xt4_combined("VN"), 22500)
+    assert 0.60 < a.solver_efficiency() < 0.74
+    assert a.solver_efficiency() < AORSAModel(xt4("VN"), 4096).solver_efficiency()
+
+
+def test_larger_grid_restores_efficiency():
+    # Paper: the 500x500 grid reaches 74.8% at 22.5k cores.
+    comb = xt3_xt4_combined("VN")
+    small = AORSAModel(comb, 22500, nx=300, ny=300)
+    big = AORSAModel(comb, 22500, nx=500, ny=500)
+    assert big.solver_efficiency() > small.solver_efficiency()
+
+
+def test_500_grid_needs_16k_cores():
+    # Paper: "cannot be run on fewer than 16k cores".
+    assert not AORSAModel(xt4("VN"), 8192, nx=500, ny=500).fits_in_memory()
+    assert AORSAModel(xt3_xt4_combined("VN"), 16000, nx=500, ny=500).fits_in_memory()
+    with pytest.raises(ValueError, match="does not fit"):
+        AORSAModel(xt4("VN"), 8192, nx=500, ny=500).solve_minutes()
+
+
+def test_strong_scaling_grind_time_decreases():
+    comb = xt3_xt4_combined("VN")
+    totals = [
+        AORSAModel(xt4("VN"), 4096).total_minutes(),
+        AORSAModel(xt4("VN"), 8192).total_minutes(),
+        AORSAModel(comb, 16000).total_minutes(),
+        AORSAModel(comb, 22500).total_minutes(),
+    ]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_xt4_faster_than_xt3_at_4k():
+    t3 = AORSAModel(xt3_dc("VN"), 4096).total_minutes()
+    t4 = AORSAModel(xt4("VN"), 4096).total_minutes()
+    assert t4 < t3
+
+
+def test_ql_phase_smaller_than_solve():
+    a = AORSAModel(xt4("VN"), 4096)
+    assert 0.0 < a.ql_minutes() < a.solve_minutes()
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        AORSAModel(xt4("SN"), 0)
+    with pytest.raises(ValueError):
+        AORSAModel(xt4("SN"), 64, nx=0)
+
+
+# ----------------------------------------------------------- spectral solver
+def test_spectral_solution_satisfies_equation():
+    sp = SpectralProblem(64)
+    e = sp.solve()
+    assert sp.residual(e) < 1e-10
+
+
+def test_spectral_residual_of_wrong_field_is_large():
+    sp = SpectralProblem(64)
+    wrong = np.ones(64, dtype=complex)
+    assert sp.residual(wrong) > 1e-2
+
+
+def test_spectral_constant_ksq_reduces_to_diagonal():
+    """With epsilon=0 the mode-coupling matrix is diagonal."""
+    sp = SpectralProblem(32, epsilon=0.0)
+    a = sp.assemble()
+    off = a - np.diag(np.diag(a))
+    assert np.max(np.abs(off)) < 1e-12
+
+
+def test_spectral_convergence_with_modes():
+    """More modes -> the solution stabilizes (spectral accuracy)."""
+    coarse = SpectralProblem(32).solve()
+    fine = SpectralProblem(64).solve()
+    # Compare on the shared collocation points (every other fine point).
+    assert np.max(np.abs(fine[::2] - coarse)) < 1e-6
+
+
+def test_spectral_validation():
+    with pytest.raises(ValueError):
+        SpectralProblem(12)
+    with pytest.raises(ValueError):
+        SpectralProblem(2)

@@ -1,0 +1,223 @@
+"""CAM tests: decomposition rules, model shapes (Figs 14-16), mini-dycore."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cam import (
+    CAMModel,
+    D_GRID,
+    MiniDycore,
+    PhysicsProxy,
+    best_configuration,
+    decompose,
+)
+from repro.apps.cam.decomp import max_tasks
+from repro.apps.cam.physics import balance_columns, column_weights
+from repro.machine import PLATFORMS, xt3, xt3_dc, xt4
+
+
+# ------------------------------------------------------------- decomposition
+def test_1d_limit_is_120_tasks():
+    # Paper: >= 3 latitudes per task, 361 latitudes -> 120 tasks max for 1D.
+    assert decompose(D_GRID, 120).kind == "1d"
+    assert decompose(D_GRID, 128).kind == "2d"
+
+
+def test_2d_limit_is_960_tasks():
+    assert max_tasks(D_GRID) == 960
+    d = decompose(D_GRID, 960)
+    assert d.kind == "2d"
+    assert d.nlat_tasks == 120 and d.nlev_tasks == 8
+    with pytest.raises(ValueError):
+        decompose(D_GRID, 961)
+
+
+def test_decompose_validation():
+    with pytest.raises(ValueError):
+        decompose(D_GRID, 0)
+
+
+def test_pacing_block_shrinks_with_tasks():
+    blocks = [decompose(D_GRID, p).dyn_block_cells for p in (60, 120, 504, 960)]
+    assert blocks == sorted(blocks, reverse=True)
+
+
+def test_imbalance_at_least_one():
+    for p in (32, 120, 504, 960):
+        assert decompose(D_GRID, p).dyn_imbalance >= 1.0
+
+
+# ----------------------------------------------------------------- Figure 14
+def test_xt4_beats_xt3_per_task():
+    for p in (128, 504, 960):
+        assert (
+            CAMModel(xt4("SN"), p).throughput_years_per_day()
+            > CAMModel(xt3(), p).throughput_years_per_day()
+        )
+
+
+def test_sn_faster_than_vn_per_task():
+    # Paper: ~10% advantage for SN at large task counts (MPI-driven).
+    sn = CAMModel(xt4("SN"), 960).throughput_years_per_day()
+    vn = CAMModel(xt4("VN"), 960).throughput_years_per_day()
+    assert 1.02 < sn / vn < 1.25
+
+
+def test_equal_nodes_vn_wins():
+    # Paper: 504 SN vs 960 VN (same node count) -> VN ~30% more throughput.
+    sn504 = CAMModel(xt4("SN"), 504).throughput_years_per_day()
+    vn960 = CAMModel(xt4("VN"), 960).throughput_years_per_day()
+    assert 1.2 < vn960 / sn504 < 1.7
+
+
+def test_xt3_dual_core_beats_single_core():
+    dc = CAMModel(xt3_dc("SN"), 504).throughput_years_per_day()
+    sc = CAMModel(xt3(), 504).throughput_years_per_day()
+    assert dc > sc
+
+
+# ----------------------------------------------------------------- Figure 16
+def test_dynamics_about_twice_physics():
+    m = CAMModel(xt4("VN"), 960)
+    ratio = m.dynamics_seconds_per_day() / m.physics_seconds_per_day()
+    assert 1.5 < ratio < 2.8
+
+
+def test_alltoallv_dominates_physics_sn_vn_gap():
+    # Paper: ~70% of the SN/VN physics difference is MPI_Alltoallv.
+    sn = CAMModel(xt4("SN"), 960)
+    vn = CAMModel(xt4("VN"), 960)
+    gap = vn.physics_seconds_per_day() - sn.physics_seconds_per_day()
+    a2av = (
+        vn.physics_alltoallv_seconds_per_day()
+        - sn.physics_alltoallv_seconds_per_day()
+    )
+    assert gap > 0
+    assert 0.5 < a2av / gap <= 1.0
+
+
+def test_remap_drives_dynamics_gap():
+    sn = CAMModel(xt4("SN"), 960)
+    vn = CAMModel(xt4("VN"), 960)
+    gap = vn.dynamics_seconds_per_day() - sn.dynamics_seconds_per_day()
+    comm = (
+        vn.dynamics_comm_seconds_per_day() - sn.dynamics_comm_seconds_per_day()
+    )
+    assert comm / gap > 0.4  # "much of the performance difference"
+
+
+# ----------------------------------------------------------------- Figure 15
+def test_xt4_brackets_p575():
+    sn = CAMModel(xt4("SN"), 960).throughput_years_per_day()
+    vn = CAMModel(xt4("VN"), 960).throughput_years_per_day()
+    p575 = best_configuration(PLATFORMS["p575"], 960).throughput_years_per_day()
+    assert sn > p575 > vn
+
+
+def test_platform_orderings_at_960():
+    t = {
+        name: best_configuration(PLATFORMS[name], 960).throughput_years_per_day()
+        for name in ("X1E", "EarthSimulator", "p690", "p575", "SP")
+    }
+    assert t["SP"] < t["p690"] < t["p575"]  # IBM generations in order
+    assert t["X1E"] > t["p575"]  # vector systems lead at this size
+
+
+def test_vector_penalty_flattens_scaling():
+    """Vector platforms lose per-processor efficiency beyond ~750 procs
+    (vector length < 128 — paper §6.1)."""
+    x1e_small = best_configuration(PLATFORMS["X1E"], 256)
+    x1e_big = best_configuration(PLATFORMS["X1E"], 1024)
+    per_proc_small = x1e_small.throughput_years_per_day() / 256
+    per_proc_big = x1e_big.throughput_years_per_day() / 1024
+    assert per_proc_big < per_proc_small * 0.75
+
+
+def test_openmp_used_on_hybrid_platforms_only():
+    m = best_configuration(PLATFORMS["p575"], 960)
+    assert m.threads > 1
+    with pytest.raises(ValueError):
+        CAMModel(xt4("SN"), 64, threads=4)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        CAMModel(xt4("SN"), 64, threads=0)
+    with pytest.raises(ValueError):
+        best_configuration(PLATFORMS["p575"], 0)
+
+
+# -------------------------------------------------------------- mini-dycore
+def test_dycore_conserves_tracer_mass():
+    dyc = MiniDycore(nlat=16, nlon=24)
+    rng = np.random.default_rng(0)
+    q = rng.random((16, 24))
+    total0 = q.sum()
+    q5 = dyc.run_serial(q, 5)
+    assert q5.sum() == pytest.approx(total0, rel=1e-12)
+
+
+def test_dycore_preserves_constant_field():
+    dyc = MiniDycore(nlat=8, nlon=8)
+    q = np.full((8, 8), 2.5)
+    assert np.allclose(dyc.run_serial(q, 3), 2.5)
+
+
+def test_dycore_translates_peak_downwind():
+    dyc = MiniDycore(nlat=16, nlon=16, u=1.0, v=0.0, dt=1.0)  # CFL=1: exact shift
+    q = np.zeros((16, 16))
+    q[8, 4] = 1.0
+    q1 = dyc.step_serial(q)
+    assert q1[8, 5] == pytest.approx(1.0)
+    assert q1[8, 4] == pytest.approx(0.0)
+
+
+def test_dycore_cfl_validation():
+    with pytest.raises(ValueError):
+        MiniDycore(nlat=8, nlon=8, u=3.0, v=3.0, dt=1.0)
+
+
+def test_dycore_distributed_matches_serial():
+    dyc = MiniDycore(nlat=12, nlon=10)
+    rng = np.random.default_rng(1)
+    q0 = rng.random((12, 10))
+    serial = dyc.run_serial(q0, 4)
+    dist, job = dyc.run_distributed(xt4("VN"), 4, q0, 4)
+    assert np.allclose(dist, serial)
+    assert job.elapsed_s > 0
+
+
+def test_dycore_distributed_validation():
+    dyc = MiniDycore(nlat=10, nlon=8)
+    with pytest.raises(ValueError):
+        dyc.run_distributed(xt4("SN"), 3, np.zeros((10, 8)), 1)
+
+
+# -------------------------------------------------------------- physics proxy
+def test_balancing_reduces_imbalance():
+    # 8 ranks on 4x8 columns: naive blocks are all-day or all-night.
+    proxy = PhysicsProxy(nlat=4, nlon=8)
+    before = proxy.imbalance_without_balancing(8)
+    after = proxy.imbalance_with_balancing(8)
+    assert after < before
+    assert after == pytest.approx(1.0, abs=0.05)
+
+
+def test_balance_columns_partitions_all():
+    w = column_weights(4, 8)
+    parts = balance_columns(w, 3)
+    got = np.sort(np.concatenate(parts))
+    assert np.array_equal(got, np.arange(32))
+
+
+def test_balance_validation():
+    with pytest.raises(ValueError):
+        balance_columns(column_weights(2, 2), 0)
+
+
+def test_physics_distributed_roundtrip():
+    proxy = PhysicsProxy(nlat=4, nlon=8)
+    result, job = proxy.run_distributed(xt4("VN"), 4)
+    expected = column_weights(4, 8).ravel()
+    assert np.allclose(result, expected)
+    assert job.elapsed_s > 0

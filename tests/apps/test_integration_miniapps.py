@@ -1,0 +1,90 @@
+"""Integration tests: full CAM and POP timesteps on the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cam.minicam import MiniCAM
+from repro.apps.pop.minipop import MiniPOP
+from repro.machine import xt4
+
+
+@pytest.fixture
+def q0():
+    return np.random.default_rng(0).random((16, 16))
+
+
+@pytest.fixture
+def t0():
+    return np.random.default_rng(1).random((4, 16, 12))
+
+
+# --------------------------------------------------------------------- CAM
+def test_minicam_conserves_tracer(q0):
+    out, job, _ = MiniCAM(xt4("VN"), 4).run(q0, nsteps=3)
+    assert out.sum() == pytest.approx(q0.sum(), rel=1e-12)
+    assert job.elapsed_s > 0
+
+
+def test_minicam_rank_count_invariance(q0):
+    out2, _, _ = MiniCAM(xt4("SN"), 2).run(q0, nsteps=2)
+    out4, _, _ = MiniCAM(xt4("SN"), 4).run(q0, nsteps=2)
+    assert np.allclose(out2, out4, atol=1e-12)
+
+
+def test_minicam_profiles_show_the_papers_operations(q0):
+    breakdown = MiniCAM(xt4("VN"), 4).mpi_breakdown(q0, nsteps=2)
+    # The step's MPI inventory: halos, remap alltoallv, physics allreduce.
+    assert breakdown["alltoallv"] > 0
+    assert breakdown["sendrecv"] > 0
+    assert breakdown["allreduce"] > 0
+
+
+def test_minicam_remap_is_dominant_mpi_cost(q0):
+    """The §6.1 structure: the remap Alltoallv outweighs the halos."""
+    breakdown = MiniCAM(xt4("VN"), 4).mpi_breakdown(q0, nsteps=2)
+    assert breakdown["alltoallv"] > breakdown["sendrecv"]
+
+
+def test_minicam_validation(q0):
+    with pytest.raises(ValueError):
+        MiniCAM(xt4("SN"), 3)  # 16 % 3 != 0
+    with pytest.raises(ValueError):
+        MiniCAM(xt4("SN"), 4).run(np.zeros((4, 4)))
+
+
+# --------------------------------------------------------------------- POP
+def test_minipop_conserves_tracer(t0):
+    tracer, eta, phase, job = MiniPOP(xt4("VN"), 4).run(t0, nsteps=3)
+    assert tracer.sum() == pytest.approx(t0.sum(), rel=1e-12)
+    assert eta.shape == (16, 12)
+    assert job.elapsed_s > 0
+
+
+def test_minipop_barotropic_dominates_at_mini_scale(t0):
+    """Tiny grids are the latency-bound regime: the CG allreduces dwarf
+    the baroclinic stencil — the paper's large-task-count situation."""
+    _, _, phase, _ = MiniPOP(xt4("VN"), 4).run(t0, nsteps=2)
+    assert phase["barotropic"] > phase["baroclinic"]
+
+
+def test_minipop_cg_variants_agree_and_cgcg_is_faster(t0):
+    _, eta_std, phase_std, _ = MiniPOP(xt4("VN"), 4, solver="cg").run(t0, 2)
+    _, eta_cgc, phase_cgc, _ = MiniPOP(xt4("VN"), 4, solver="cgcg").run(t0, 2)
+    assert np.allclose(eta_std, eta_cgc, atol=1e-5)
+    assert phase_cgc["barotropic"] < phase_std["barotropic"]
+
+
+def test_minipop_rank_count_invariance(t0):
+    tr2, eta2, _, _ = MiniPOP(xt4("SN"), 2).run(t0, nsteps=2)
+    tr4, eta4, _, _ = MiniPOP(xt4("SN"), 4).run(t0, nsteps=2)
+    assert np.allclose(tr2, tr4, atol=1e-12)
+    assert np.allclose(eta2, eta4, atol=1e-8)
+
+
+def test_minipop_validation():
+    with pytest.raises(ValueError):
+        MiniPOP(xt4("SN"), 3)  # 16 % 3
+    with pytest.raises(ValueError):
+        MiniPOP(xt4("SN"), 4, solver="jacobi")
+    with pytest.raises(ValueError):
+        MiniPOP(xt4("SN"), 4).run(np.zeros((1, 1, 1)))

@@ -1,0 +1,121 @@
+"""Tests for the deep mini-app pieces: CAM remap, POP baroclinic step,
+and the AORSA assemble→solve pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.aorsa import AORSAPipeline
+from repro.apps.cam import RemapStudy
+from repro.apps.pop import BaroclinicStep
+from repro.machine import xt4
+
+
+# ------------------------------------------------------------------ remap
+def test_remap_roundtrip_exact():
+    rng = np.random.default_rng(0)
+    field = rng.random((24, 20))
+    out, job = RemapStudy(xt4("VN"), 4).roundtrip(field, repeats=3)
+    assert np.array_equal(out, field)
+    assert job.elapsed_s > 0
+
+
+def test_remap_uneven_split():
+    rng = np.random.default_rng(1)
+    field = rng.random((23, 17))  # not divisible by 4
+    out, _ = RemapStudy(xt4("SN"), 4).roundtrip(field)
+    assert np.array_equal(out, field)
+
+
+def test_remap_vn_slower_than_sn():
+    """The §6.1 observation: the remap Alltoallv pays VN's NIC sharing.
+    Compared at 8 tasks so both modes cross the network."""
+    shape = (64, 48)
+    t_sn = RemapStudy(xt4("SN"), 8).remap_seconds(shape, repeats=2)
+    t_vn = RemapStudy(xt4("VN"), 8).remap_seconds(shape, repeats=2)
+    assert t_vn > t_sn
+
+
+def test_remap_validation():
+    with pytest.raises(ValueError):
+        RemapStudy(xt4("SN"), 0)
+    with pytest.raises(ValueError):
+        RemapStudy(xt4("SN"), 8).roundtrip(np.zeros((4, 4)))
+
+
+# -------------------------------------------------------------- baroclinic
+def test_baroclinic_distributed_matches_serial():
+    bc = BaroclinicStep(nz=5, ny=12, nx=8)
+    rng = np.random.default_rng(2)
+    t0 = rng.random((5, 12, 8))
+    serial = bc.run_serial(t0, 4)
+    dist, job = bc.run_distributed(xt4("VN"), 4, t0, 4)
+    assert np.allclose(dist, serial, atol=1e-14)
+    assert job.elapsed_s > 0
+
+
+def test_baroclinic_conserves_tracer():
+    bc = BaroclinicStep(nz=4, ny=8, nx=8)
+    rng = np.random.default_rng(3)
+    t0 = rng.random((4, 8, 8))
+    out = bc.run_serial(t0, 10)
+    assert out.sum() == pytest.approx(t0.sum(), rel=1e-12)
+
+
+def test_baroclinic_smooths_field():
+    bc = BaroclinicStep(nz=3, ny=16, nx=16, kappa_h=0.2)
+    rng = np.random.default_rng(4)
+    t0 = rng.random((3, 16, 16))
+    out = bc.run_serial(t0, 20)
+    assert out.std() < t0.std()  # diffusion damps variance
+
+
+def test_baroclinic_validation():
+    with pytest.raises(ValueError):
+        BaroclinicStep(nz=2, ny=4, nx=4, kappa_h=0.3)
+    bc = BaroclinicStep(nz=2, ny=10, nx=4)
+    with pytest.raises(ValueError):
+        bc.run_distributed(xt4("SN"), 4, np.zeros((2, 10, 4)), 1)
+    with pytest.raises(ValueError):
+        bc.step_serial(np.zeros((1, 1, 1)))
+
+
+def test_baroclinic_nearest_neighbor_scales():
+    """More tasks, same grid: simulated step time drops — the phase the
+    paper says 'scales well on all platforms'."""
+    # Big enough per-task compute that the halo latency doesn't dominate.
+    bc = BaroclinicStep(nz=16, ny=32, nx=32)
+    t0 = np.random.default_rng(5).random((16, 32, 32))
+    _, job2 = bc.run_distributed(xt4("SN"), 2, t0, 6)
+    _, job8 = bc.run_distributed(xt4("SN"), 8, t0, 6)
+    assert job8.elapsed_s < job2.elapsed_s
+
+
+# ----------------------------------------------------------------- pipeline
+def test_aorsa_pipeline_solves_the_wave_equation():
+    field, residual, job = AORSAPipeline(xt4("VN"), 4).run()
+    assert residual < 1e-10
+    assert job.elapsed_s > 0
+
+
+def test_aorsa_pipeline_matches_serial_spectral_solve():
+    from repro.apps.aorsa import SpectralProblem
+
+    serial = SpectralProblem(32).solve()
+    field, _, _ = AORSAPipeline(xt4("SN"), 2, nmodes=32).run()
+    assert np.allclose(field, serial, atol=1e-9)
+
+
+def test_aorsa_ql_operator_properties():
+    pipe = AORSAPipeline(xt4("SN"), 2)
+    field, _, _ = pipe.run()
+    ql = pipe.ql_operator(field)
+    assert ql.shape == field.shape
+    assert (ql >= 0).all()  # power spectrum is non-negative
+    # Smoothing conserves total power.
+    raw = np.abs(np.fft.fft(field) / field.size) ** 2
+    assert ql.sum() == pytest.approx(raw.sum(), rel=1e-10)
+
+
+def test_aorsa_pipeline_validation():
+    with pytest.raises(ValueError):
+        AORSAPipeline(xt4("SN"), 2, nmodes=30, block=8)

@@ -1,0 +1,128 @@
+"""NAMD tests: model shapes (Figs 20-21) and the mini-MD engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.namd import MiniMD, NAMD_1M, NAMD_3M, NAMDModel
+from repro.machine import xt3_dc, xt4
+
+
+# ----------------------------------------------------------------- Figure 20
+def test_1m_reaches_about_9ms_at_8192():
+    t = NAMDModel(xt4("VN"), 8192, NAMD_1M).ms_per_step()
+    assert 7.0 < t < 11.0
+
+
+def test_3m_reaches_about_12ms_at_12000():
+    t = NAMDModel(xt4("VN"), 12000, NAMD_3M).ms_per_step()
+    assert 10.0 < t < 16.0
+
+
+def test_xt4_gain_is_order_5_percent():
+    for p in (256, 2048):
+        t3 = NAMDModel(xt3_dc("VN"), p, NAMD_1M).ms_per_step()
+        t4 = NAMDModel(xt4("VN"), p, NAMD_1M).ms_per_step()
+        assert 1.02 < t3 / t4 < 1.10
+
+
+def test_time_per_step_decreases_with_tasks():
+    times = [
+        NAMDModel(xt4("VN"), p, NAMD_3M).ms_per_step()
+        for p in (64, 256, 1024, 4096, 12000)
+    ]
+    assert times == sorted(times, reverse=True)
+
+
+def test_1m_scaling_restricted_by_fft_grid():
+    # Paper: "scaling for 1M atom system is restricted by the size of
+    # underlying FFT grid computations" near 8192 tasks.
+    m = NAMDModel(xt4("VN"), 8192, NAMD_1M)
+    assert m.max_useful_tasks == 8192
+    t8k = NAMDModel(xt4("VN"), 8192, NAMD_1M).ms_per_step()
+    t12k = NAMDModel(xt4("VN"), 12000, NAMD_1M).ms_per_step()
+    assert t12k > t8k * 0.95  # no further useful speedup
+
+
+# ----------------------------------------------------------------- Figure 21
+def test_vn_penalty_small_at_low_counts():
+    sn = NAMDModel(xt4("SN"), 256, NAMD_1M).ms_per_step()
+    vn = NAMDModel(xt4("VN"), 256, NAMD_1M).ms_per_step()
+    assert vn / sn < 1.1  # "order of 10% or less"
+
+
+def test_vn_penalty_grows_with_task_count():
+    gap = []
+    for p in (256, 2048, 6000):
+        sn = NAMDModel(xt4("SN"), p, NAMD_1M).ms_per_step()
+        vn = NAMDModel(xt4("VN"), p, NAMD_1M).ms_per_step()
+        gap.append(vn / sn)
+    assert gap[0] < gap[-1]  # "relatively large increases ... in VN mode"
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        NAMDModel(xt4("SN"), 0)
+
+
+# ------------------------------------------------------------------- mini-MD
+@pytest.fixture
+def md():
+    return MiniMD(box=6.0, cutoff=2.5)
+
+
+def test_lattice_in_box(md):
+    pos = md.lattice(3)
+    assert pos.shape == (27, 3)
+    assert (pos >= 0).all() and (pos < md.box).all()
+
+
+def test_forces_sum_to_zero(md):
+    """Newton's third law: no net force on the whole system."""
+    pos = md.lattice(3, seed=1)
+    f, _ = md.forces(pos)
+    assert np.allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_two_particle_force_is_central_and_symmetric(md):
+    pos = np.array([[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]])
+    f, e = md.forces(pos)
+    assert np.allclose(f[0], -f[1])
+    assert f[0][1] == pytest.approx(0.0)
+    assert f[0][2] == pytest.approx(0.0)
+
+
+def test_energy_reasonably_conserved(md):
+    pos = md.lattice(3, seed=2)
+    vel = np.zeros_like(pos)
+    e0 = md.total_energy(pos, vel)
+    for _ in range(20):
+        pos, vel, _ = md.step(pos, vel, dt=1e-3)
+    e1 = md.total_energy(pos, vel)
+    assert abs(e1 - e0) < 0.05 * max(1.0, abs(e0))
+
+
+def test_cutoff_beyond_range_no_force(md):
+    pos = np.array([[0.5, 0.5, 0.5], [0.5 + 2.9, 0.5, 0.5]])
+    f, e = md.forces(pos)
+    assert np.allclose(f, 0.0)
+    assert e == pytest.approx(0.0)
+
+
+def test_box_validation():
+    with pytest.raises(ValueError):
+        MiniMD(box=4.0, cutoff=2.5)
+
+
+def test_distributed_matches_serial(md):
+    pos0 = md.lattice(3, seed=3)
+    vel0 = np.zeros_like(pos0)
+    # Serial reference.
+    pos_ref, vel_ref = pos0.copy(), vel0.copy()
+    for _ in range(3):
+        pos_ref, vel_ref, _ = md.step(pos_ref, vel_ref, dt=1e-3)
+    pos_par, vel_par, job = md.run_distributed(
+        xt4("VN"), 2, pos0, vel0, nsteps=3, dt=1e-3
+    )
+    assert np.allclose(pos_par, pos_ref, atol=1e-10)
+    assert np.allclose(vel_par, vel_ref, atol=1e-10)
+    assert job.elapsed_s > 0

@@ -1,0 +1,90 @@
+"""Tests for the slab-decomposed PME proxy (NAMD's FFT-grid limiter)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.namd.pme import PMEProxy, spread_charges
+from repro.machine import xt4
+
+
+@pytest.fixture
+def neutral_system():
+    rng = np.random.default_rng(0)
+    pos = rng.random((60, 2))
+    q = rng.standard_normal(60)
+    q -= q.mean()
+    return pos, q
+
+
+def test_spread_conserves_total_charge(neutral_system):
+    pos, q = neutral_system
+    rho = spread_charges(pos, q, 16, 1.0)
+    assert rho.sum() == pytest.approx(q.sum(), abs=1e-12)
+    assert rho.shape == (16, 16)
+
+
+def test_spread_validation():
+    with pytest.raises(ValueError):
+        spread_charges(np.zeros((3, 3)), np.zeros(3), 8, 1.0)
+    with pytest.raises(ValueError):
+        spread_charges(np.zeros((3, 2)), np.zeros(4), 8, 1.0)
+
+
+def test_solve_matches_dense_reference(neutral_system):
+    pos, q = neutral_system
+    proxy = PMEProxy(xt4("VN"), 4, grid=16)
+    rho = spread_charges(pos, q, 16, 1.0)
+    phi, energy, job = proxy.solve(rho)
+    assert np.allclose(phi, proxy.reference_potential(rho), atol=1e-12)
+    assert energy == pytest.approx(proxy.reference_energy(rho), rel=1e-12)
+    assert job.elapsed_s > 0
+
+
+def test_energy_nonnegative(neutral_system):
+    pos, q = neutral_system
+    proxy = PMEProxy(xt4("SN"), 2, grid=8)
+    rho = spread_charges(pos, q, 8, 1.0)
+    _, energy, _ = proxy.solve(rho)
+    assert energy >= 0  # sum of |rho_k|^2 / k^2
+
+
+def test_single_point_charge_potential_shape():
+    """phi is largest at the charge and decays with distance."""
+    proxy = PMEProxy(xt4("SN"), 2, grid=16)
+    rho = np.zeros((16, 16))
+    rho[8, 8] = 1.0
+    rho -= rho.mean()  # neutralize
+    phi, _, _ = proxy.solve(rho)
+    assert phi[8, 8] == phi.max()
+    assert phi[8, 8] > phi[8, 12]
+
+
+def test_rank_count_invariance(neutral_system):
+    pos, q = neutral_system
+    rho = spread_charges(pos, q, 16, 1.0)
+    phi2, e2, _ = PMEProxy(xt4("SN"), 2, grid=16).solve(rho)
+    phi4, e4, _ = PMEProxy(xt4("VN"), 4, grid=16).solve(rho)
+    assert np.allclose(phi2, phi4, atol=1e-12)
+    assert e2 == pytest.approx(e4, rel=1e-12)
+
+
+def test_more_ranks_eventually_latency_bound():
+    """The FFT-grid restriction in miniature: on a fixed small grid,
+    adding ranks stops helping once transposes dominate (paper §6.3)."""
+    rho = np.zeros((16, 16))
+    rho[3, 5] = 1.0
+    t = {}
+    for p in (2, 8):
+        _, _, job = PMEProxy(xt4("SN"), p, grid=16).solve(rho)
+        t[p] = job.elapsed_s
+    # 8 ranks on a 16-point grid is not 4x faster than 2 ranks.
+    assert t[8] > t[2] / 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PMEProxy(xt4("SN"), 2, grid=12)
+    with pytest.raises(ValueError):
+        PMEProxy(xt4("SN"), 3, grid=16)
+    with pytest.raises(ValueError):
+        PMEProxy(xt4("SN"), 2, grid=8).solve(np.zeros((4, 4)))

@@ -1,0 +1,150 @@
+"""POP tests: decomposition, model shapes (Figs 17-19), distributed CG."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pop import DistributedCG, POP_01_GRID, POPModel
+from repro.apps.pop.barotropic import serial_solve
+from repro.apps.pop.grid import decompose
+from repro.machine import xt3, xt3_dc, xt4
+from repro.machine.configs import xt3_xt4_combined
+
+
+# ------------------------------------------------------------- decomposition
+def test_decompose_covers_grid():
+    d = decompose(POP_01_GRID, 5000)
+    assert d.px * d.py == 5000
+    assert d.block_nx * d.px >= POP_01_GRID.nx
+    assert d.block_ny * d.py >= POP_01_GRID.ny
+
+
+def test_decompose_prefers_grid_aspect():
+    d = decompose(POP_01_GRID, 6)  # 3600x2400 -> 3x2 blocks are square
+    assert (d.px, d.py) == (3, 2)
+
+
+def test_decompose_validation():
+    with pytest.raises(ValueError):
+        decompose(POP_01_GRID, 0)
+    with pytest.raises(ValueError):
+        decompose(POP_01_GRID, POP_01_GRID.columns)
+
+
+# ----------------------------------------------------------------- Figure 17
+def test_xt4_beats_xt3_per_task():
+    for p in (1000, 5000):
+        assert (
+            POPModel(xt4("SN"), p).throughput_years_per_day()
+            > POPModel(xt3(), p).throughput_years_per_day()
+        )
+
+
+def test_single_to_dual_core_xt3_no_measurable_gain():
+    # Paper: clock bump alone "did not improve performance measurably".
+    sc = POPModel(xt3(), 2000).throughput_years_per_day()
+    dc = POPModel(xt3_dc("SN"), 2000).throughput_years_per_day()
+    assert dc / sc < 1.08
+
+
+def test_equal_nodes_vn_wins_by_about_40_percent():
+    sn = POPModel(xt4("SN"), 5000).throughput_years_per_day()
+    vn = POPModel(xt4("VN"), 10000).throughput_years_per_day()
+    assert 1.15 < vn / sn < 1.6
+
+
+def test_scales_to_22k_tasks():
+    comb = xt3_xt4_combined("VN")
+    t = [
+        POPModel(comb, p).throughput_years_per_day()
+        for p in (5000, 10000, 16000, 22000)
+    ]
+    assert t == sorted(t)  # still gaining at 22k (paper: "scales very well")
+
+
+# ----------------------------------------------------------------- Figure 19
+def test_barotropic_flat_and_dominant_at_scale():
+    comb = xt3_xt4_combined("VN")
+    bt = [POPModel(comb, p).barotropic_s_per_day() for p in (5000, 10000, 22000)]
+    # Relatively flat...
+    assert max(bt) / min(bt) < 1.5
+    # ...and the dominant cost at the largest counts.
+    m = POPModel(comb, 22000)
+    assert m.barotropic_s_per_day() > m.baroclinic_s_per_day()
+
+
+def test_baroclinic_scales_well():
+    comb = xt3_xt4_combined("VN")
+    bc = [POPModel(comb, p).baroclinic_s_per_day() for p in (5000, 10000, 22000)]
+    assert bc[0] > bc[1] > bc[2]
+
+
+def test_cg_variant_halves_allreduces_and_helps_at_scale():
+    comb = xt3_xt4_combined("VN")
+    std = POPModel(comb, 22000, solver="cg")
+    cgcg = POPModel(comb, 22000, solver="cgcg")
+    assert std.allreduces_per_iteration == 2
+    assert cgcg.allreduces_per_iteration == 1
+    assert cgcg.barotropic_allreduce_s_per_day() == pytest.approx(
+        std.barotropic_allreduce_s_per_day() / 2
+    )
+    gain = cgcg.throughput_years_per_day() / std.throughput_years_per_day()
+    assert gain > 1.15  # "improves POP performance significantly"
+
+
+def test_solver_validation():
+    with pytest.raises(ValueError):
+        POPModel(xt4("SN"), 100, solver="gmres")
+
+
+# ----------------------------------------------------------- distributed CG
+def test_serial_solvers_agree():
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((16, 12))
+    std = serial_solve(b, "cg")
+    cgv = serial_solve(b, "cgcg")
+    assert std.converged and cgv.converged
+    assert np.allclose(std.x, cgv.x, atol=1e-6)
+
+
+def test_distributed_cg_matches_serial():
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((12, 8))
+    ref = serial_solve(b, "cg").x
+    solver = DistributedCG(xt4("VN"), 4, variant="cg")
+    x, iters, calls, job = solver.solve(b)
+    assert np.allclose(x, ref, atol=1e-6)
+    assert iters > 0
+    assert job.elapsed_s > 0
+
+
+def test_distributed_cgcg_matches_serial_and_halves_reductions():
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((12, 8))
+    ref = serial_solve(b, "cg").x
+    std = DistributedCG(xt4("VN"), 4, variant="cg")
+    cgv = DistributedCG(xt4("VN"), 4, variant="cgcg")
+    x1, it1, calls1, _ = std.solve(b)
+    x2, it2, calls2, _ = cgv.solve(b)
+    assert np.allclose(x2, ref, atol=1e-6)
+    assert abs(it1 - it2) <= 2
+    # Setup costs one fused reduction in both variants.
+    per_iter_std = (calls1 - 1) / it1
+    per_iter_cgv = (calls2 - 1) / it2
+    assert per_iter_std == pytest.approx(2.0)
+    assert per_iter_cgv == pytest.approx(1.0)
+
+
+def test_distributed_cg_is_faster_in_simulated_time_with_cgcg():
+    """Fewer allreduces should reduce simulated solve time at fixed size."""
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal((16, 8))
+    _, _, _, job_std = DistributedCG(xt4("VN"), 8, variant="cg").solve(b)
+    _, _, _, job_cgv = DistributedCG(xt4("VN"), 8, variant="cgcg").solve(b)
+    assert job_cgv.elapsed_s < job_std.elapsed_s
+
+
+def test_distributed_validation():
+    with pytest.raises(ValueError):
+        DistributedCG(xt4("SN"), 4, variant="bicg")
+    with pytest.raises(ValueError):
+        DistributedCG(xt4("SN"), 5).solve(np.zeros((12, 8)))

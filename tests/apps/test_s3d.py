@@ -1,0 +1,111 @@
+"""S3D tests: model shape (Fig. 22) and the DNS proxy numerics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.s3d import MiniDNS, S3DModel
+from repro.machine import xt3, xt3_dc, xt4
+
+
+# ----------------------------------------------------------------- Figure 22
+def test_xt4_below_xt3():
+    x3 = S3DModel(xt3_dc("VN"), 1024).cost_per_point_us()
+    x4 = S3DModel(xt4("VN"), 1024).cost_per_point_us()
+    assert x4 < x3
+
+
+def test_vn_costs_about_30_percent_more_than_sn():
+    # Paper: "the 30% increase in execution time can be attributed to
+    # memory bandwidth contention between cores."
+    sn = S3DModel(xt4("SN"), 1024).cost_per_point_us()
+    vn = S3DModel(xt4("VN"), 1024).cost_per_point_us()
+    assert 1.2 < vn / sn < 1.4
+
+
+def test_one_and_two_sn_tasks_same_time():
+    # Paper: one SN task and two SN tasks have the same execution time
+    # (communication overhead is negligible).
+    one = S3DModel(xt4("SN"), 1).cost_per_point_us()
+    two = S3DModel(xt4("SN"), 2).cost_per_point_us()
+    assert two == pytest.approx(one, rel=0.02)
+
+
+def test_weak_scaling_flat_to_12000():
+    series = S3DModel(xt4("VN"), 1).weak_scaling_series(
+        (1, 8, 64, 512, 4096, 12000)
+    )
+    assert max(series) / min(series) < 1.1
+
+
+def test_magnitude_matches_figure():
+    # Fig. 22 y-axis: tens of microseconds per grid point per step.
+    for machine in (xt3(), xt4("SN"), xt4("VN"), xt3_dc("VN")):
+        c = S3DModel(machine, 512).cost_per_point_us()
+        assert 10 < c < 80
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        S3DModel(xt4("SN"), 0)
+
+
+# ------------------------------------------------------------------ numerics
+def test_dns_constant_field_is_steady():
+    dns = MiniDNS(nx=32, ny=32, u=1.0, v=0.5, nu=0.01)
+    q = np.full((32, 32), 1.5)
+    out = dns.run_serial(q, dt=1e-3, nsteps=5)
+    assert np.allclose(out, 1.5, atol=1e-12)
+
+
+def test_dns_mass_conservation():
+    dns = MiniDNS(nx=32, ny=32)
+    rng = np.random.default_rng(0)
+    q = rng.random((32, 32))
+    out = dns.run_serial(q, dt=5e-4, nsteps=10)
+    # Derivative stencils and filter preserve the mean exactly on a
+    # periodic domain (all stencil coefficient sums vanish).
+    assert out.mean() == pytest.approx(q.mean(), rel=1e-12)
+
+
+def test_dns_mode_decay_matches_diffusion():
+    """A single Fourier mode should decay like exp(-nu k^2 t)."""
+    dns = MiniDNS(nx=32, ny=32, u=0.4, v=0.2, nu=0.05)
+    x = np.linspace(0, 2 * np.pi, 32, endpoint=False)
+    q0 = np.sin(2 * x)[None, :] * np.ones((32, 1))  # mode (kx=2, ky=0)
+    dt, nsteps = 2e-3, 50
+    out = dns.run_serial(q0, dt, nsteps)
+    amp = np.abs(np.fft.fft2(out)).max() / np.abs(np.fft.fft2(q0)).max()
+    expected = dns.exact_mode_decay(2, 0, dt * nsteps)
+    assert amp == pytest.approx(expected, rel=0.02)
+
+
+def test_dns_distributed_matches_serial_exactly():
+    dns = MiniDNS(nx=16, ny=32)
+    rng = np.random.default_rng(1)
+    q0 = rng.random((32, 16))
+    serial = dns.run_serial(q0, dt=1e-3, nsteps=2)
+    dist, job = dns.run_distributed(xt4("VN"), 4, q0, dt=1e-3, nsteps=2)
+    assert np.allclose(dist, serial, atol=1e-13)
+    assert job.elapsed_s > 0
+
+
+def test_dns_distributed_validation():
+    dns = MiniDNS(nx=16, ny=30)
+    with pytest.raises(ValueError):
+        dns.run_distributed(xt4("SN"), 4, np.zeros((30, 16)), 1e-3, 1)
+    dns2 = MiniDNS(nx=16, ny=16)
+    with pytest.raises(ValueError):
+        # 4 rows per task < required 8 ghost rows
+        dns2.run_distributed(xt4("SN"), 4, np.zeros((16, 16)), 1e-3, 1)
+
+
+def test_dns_vn_colocation_uses_cheap_intranode_path():
+    """At 2 tasks, VN co-locates both ranks on one socket: every exchange
+    rides Catamount's intra-node memory-copy path instead of the network,
+    so the tiny latency-bound job is *faster* in VN — a real consequence
+    of the placement model (§2: same-socket messages are a memory copy)."""
+    dns = MiniDNS(nx=16, ny=32)
+    q0 = np.random.default_rng(2).random((32, 16))
+    _, job_sn = dns.run_distributed(xt4("SN"), 2, q0, 1e-3, 1)
+    _, job_vn = dns.run_distributed(xt4("VN"), 2, q0, 1e-3, 1)
+    assert job_vn.elapsed_s < job_sn.elapsed_s

@@ -1,0 +1,23 @@
+"""DES weak-scaling of the real S3D proxy vs the Figure-22 claims."""
+
+import pytest
+
+from repro.apps.s3d.weak import S3DWeakScalingRun
+from repro.machine import xt4
+
+
+def test_weak_scaling_nearly_flat():
+    run = S3DWeakScalingRun(xt4("SN"), rows_per_task=8, nx=16)
+    costs = run.sweep([2, 4, 8])
+    assert max(costs) / min(costs) < 1.3
+
+
+def test_vn_costs_more_per_task_than_sn():
+    sn = S3DWeakScalingRun(xt4("SN")).cost_per_point_us(8)
+    vn = S3DWeakScalingRun(xt4("VN")).cost_per_point_us(8)
+    assert vn > sn
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        S3DWeakScalingRun(xt4("SN"), rows_per_task=4)

@@ -1,0 +1,84 @@
+"""Tests for the balance-analysis helpers."""
+
+import pytest
+
+from repro.core.analysis import (
+    balance_table,
+    communication_compute_ratio,
+    machine_balance,
+    memory_crossover_intensity,
+    roofline_rate_gflops,
+)
+from repro.machine import xt3, xt4
+from repro.machine.configs import xt4_quadcore
+
+
+def test_roofline_limits():
+    m = xt4("SN")
+    peak = m.node.processor.peak_gflops_per_core
+    # Very high intensity approaches compute peak.
+    assert roofline_rate_gflops(m, 1e6) == pytest.approx(peak, rel=0.01)
+    # Very low intensity is bandwidth bound: rate ≈ intensity × bw.
+    low = roofline_rate_gflops(m, 0.01)
+    assert low < 0.1
+
+
+def test_roofline_monotone_in_intensity():
+    m = xt4("SN")
+    rates = [roofline_rate_gflops(m, i) for i in (0.1, 1.0, 10.0, 100.0)]
+    assert rates == sorted(rates)
+
+
+def test_roofline_validation():
+    with pytest.raises(ValueError):
+        roofline_rate_gflops(xt4(), 0.0)
+
+
+def test_crossover_moves_right_with_core_sharing():
+    m = xt4("VN")
+    one = memory_crossover_intensity(m, 1)
+    two = memory_crossover_intensity(m, 2)
+    assert two > one  # half the bandwidth -> need 2x the intensity
+
+
+def test_xt4_better_memory_balance_than_xt3():
+    b3 = machine_balance(xt3())
+    b4 = machine_balance(xt4())
+    # Per-socket bytes/flop *drops* with the dual core despite DDR2: the
+    # core count grew faster than the memory — the paper's central tension.
+    assert b4["memory_bytes_per_flop"] < b3["memory_bytes_per_flop"]
+    # But network bytes/flop is roughly preserved by SeaStar2.
+    assert b4["network_bytes_per_flop"] == pytest.approx(
+        b3["network_bytes_per_flop"], rel=0.2
+    )
+
+
+def test_quadcore_balance_deteriorates_further():
+    dual = machine_balance(xt4())
+    quad = machine_balance(xt4_quadcore())
+    assert quad["memory_bytes_per_flop"] < dual["memory_bytes_per_flop"]
+    assert quad["network_bytes_per_flop"] < dual["network_bytes_per_flop"]
+
+
+def test_flops_per_message_latency_drops_on_xt4():
+    # Faster network + similar core speed: messages cost fewer flops.
+    b3 = machine_balance(xt3())
+    b4 = machine_balance(xt4())
+    assert b4["flops_per_message_latency"] < b3["flops_per_message_latency"]
+
+
+def test_balance_table_renders():
+    from repro.core.report import render_table
+
+    rows = balance_table([xt3(), xt4(), xt4_quadcore()])
+    assert len(rows) == 3
+    text = render_table(rows)
+    assert "XT4-QC" in text
+
+
+def test_communication_compute_ratio():
+    r_small = communication_compute_ratio(xt4("SN"), 64, 1e9, 1e3)
+    r_big = communication_compute_ratio(xt4("SN"), 64, 1e6, 1e6)
+    assert r_small < r_big
+    with pytest.raises(ValueError):
+        communication_compute_ratio(xt4("SN"), 64, 0.0, 1e3)

@@ -1,0 +1,61 @@
+"""Tests for the CLI and the ASCII plot renderer."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import ExperimentResult
+from repro.core.report import render_ascii_plot
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig08" in out and "table1" in out
+
+
+def test_cli_run_pass(capsys):
+    assert main(["run", "fig05"]) == 0
+    out = capsys.readouterr().out
+    assert "DGEMM" in out and "PASS" in out
+
+
+def test_cli_run_with_plot(capsys):
+    assert main(["run", "fig08", "--plot", "--logx"]) == 0
+    out = capsys.readouterr().out
+    assert "(log x)" in out
+
+
+def test_cli_all_writes_csvs(tmp_path, capsys):
+    assert main(["all", "--out", str(tmp_path)]) == 0
+    files = list(tmp_path.glob("*.csv"))
+    assert len(files) >= 23
+    out = capsys.readouterr().out
+    assert "[PASS]" in out and "[FAIL]" not in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "fig99"])
+
+
+def test_ascii_plot_renders_series():
+    r = ExperimentResult("x", "T", xlabel="n", ylabel="v")
+    r.add("a", [1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0])
+    r.add("b", [1, 2, 3, 4], [4.0, 3.0, 2.0, 1.0])
+    text = render_ascii_plot(r, width=30, height=8)
+    assert "T" in text
+    assert "o a" in text and "x b" in text
+    assert "o" in text.splitlines()[1] or "x" in text.splitlines()[1]
+
+
+def test_ascii_plot_skips_categorical_series():
+    r = ExperimentResult("x", "T")
+    r.add("cat", ["a", "b"], [1.0, 2.0])
+    assert "no numeric series" in render_ascii_plot(r)
+
+
+def test_ascii_plot_constant_series():
+    r = ExperimentResult("x", "T")
+    r.add("flat", [1, 2], [5.0, 5.0])
+    text = render_ascii_plot(r, width=20, height=5)
+    assert "flat" in text

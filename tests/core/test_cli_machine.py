@@ -1,0 +1,39 @@
+"""Tests for the `repro machine` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_machine_default(capsys):
+    assert main(["machine"]) == 0
+    out = capsys.readouterr().out
+    assert "XT4-SN" in out
+    assert "pp_latency_min_us" in out
+
+
+def test_machine_vn_mode(capsys):
+    assert main(["machine", "xt4", "--mode", "VN"]) == 0
+    assert "XT4-VN" in capsys.readouterr().out
+
+
+def test_machine_save_and_load(tmp_path, capsys):
+    path = tmp_path / "m.json"
+    assert main(["machine", "xt3", "--save", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["name"] == "XT3"
+    capsys.readouterr()
+    assert main(["machine", "--load", str(path)]) == 0
+    assert "XT3" in capsys.readouterr().out
+
+
+def test_machine_audit_flag(capsys):
+    assert main(["machine", "xt4", "--audit"]) == 0
+    assert "calibration register" in capsys.readouterr().out
+
+
+def test_machine_unknown_name(capsys):
+    assert main(["machine", "cray-2"]) == 2
+    assert "unknown machine" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Tests for the experiment framework containers and reports."""
+
+import pytest
+
+from repro.core import ExperimentResult, Series, render_csv, render_table
+from repro.core.metrics import GBs, GFLOPS, GUPS, TFLOPS, format_quantity, us
+from repro.core.report import render_result
+
+
+def test_series_length_validation():
+    with pytest.raises(ValueError):
+        Series("s", [1, 2], [1.0])
+
+
+def test_series_value_at():
+    s = Series("s", ["a", "b"], [1.0, 2.0])
+    assert s.value_at("b") == 2.0
+    with pytest.raises(KeyError):
+        s.value_at("c")
+    assert s.last == 2.0
+
+
+def test_empty_series_last_raises():
+    with pytest.raises(ValueError):
+        Series("s", [], []).last
+
+
+def test_result_add_and_get():
+    r = ExperimentResult("x", "title")
+    r.add("a", [1, 2], [3, 4])
+    assert r.labels == ["a"]
+    assert r.get_series("a").y == [3.0, 4.0]
+    with pytest.raises(KeyError):
+        r.get_series("b")
+
+
+def test_metrics_units():
+    assert us(1.5e-6) == pytest.approx(1.5)
+    assert GBs(2.0e9) == 2.0
+    assert GFLOPS(3.0e9) == 3.0
+    assert TFLOPS(4.0e12) == 4.0
+    assert GUPS(5.0e9) == 5.0
+
+
+def test_format_quantity():
+    assert format_quantity(0, "us") == "0 us"
+    assert format_quantity(4.5, "us") == "4.5 us"
+    assert format_quantity(150.4, "GB/s") == "150 GB/s"
+
+
+def test_render_table_alignment():
+    out = render_table([{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_empty():
+    assert "(empty)" in render_table([])
+
+
+def test_render_csv_series_long_format():
+    r = ExperimentResult("x", "t")
+    r.add("s1", [1, 2], [3.0, 4.0])
+    csv = render_csv(r)
+    assert csv.splitlines()[0] == "series,x,y"
+    assert "s1,1,3.0" in csv
+
+
+def test_render_csv_rows():
+    r = ExperimentResult("x", "t", rows=[{"k": 1, "v": "a"}])
+    csv = render_csv(r)
+    assert csv.splitlines() == ["k,v", "1,a"]
+
+
+def test_render_result_includes_everything():
+    r = ExperimentResult("figX", "The Title", xlabel="n", ylabel="GB/s",
+                         notes="a note")
+    r.add("s", [1], [2.0])
+    out = render_result(r)
+    assert "figX" in out and "The Title" in out and "a note" in out
+    assert "[s]" in out

@@ -1,0 +1,36 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.core import all_experiments, get_experiment
+from repro.core.registry import register
+
+
+PAPER_IDS = {
+    "table1", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12_13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "fig22", "fig23",
+}
+
+EXTENSION_IDS = {"ext_multicore", "ext_balance"}
+
+
+def test_every_paper_artifact_is_registered():
+    assert set(all_experiments()) == PAPER_IDS | EXTENSION_IDS
+
+
+def test_get_experiment_returns_callable():
+    drv = get_experiment("table1")
+    result = drv()
+    assert result.exp_id == "table1"
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_double_registration_rejected():
+    with pytest.raises(ValueError):
+        register("table1")(lambda: None)

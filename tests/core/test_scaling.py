@@ -1,0 +1,82 @@
+"""Tests for scaling-study helpers."""
+
+import pytest
+
+from repro.apps.pop import POPModel
+from repro.core.scaling import (
+    crossover_tasks,
+    karp_flatt,
+    parallel_fraction_fit,
+    strong_scaling_table,
+    weak_scaling_table,
+)
+from repro.machine import xt4
+
+
+def amdahl(serial=1.0, parallel=100.0):
+    return lambda p: serial + parallel / p
+
+
+def test_strong_scaling_perfect_code():
+    rows = strong_scaling_table(lambda p: 100.0 / p, [1, 2, 4, 8])
+    assert rows[-1]["speedup"] == pytest.approx(8.0)
+    assert all(r["efficiency"] == pytest.approx(1.0) for r in rows)
+
+
+def test_strong_scaling_amdahl_efficiency_decays():
+    rows = strong_scaling_table(amdahl(), [1, 4, 16, 64])
+    effs = [r["efficiency"] for r in rows]
+    assert effs == sorted(effs, reverse=True)
+    assert effs[-1] < 0.7
+
+
+def test_strong_scaling_validation():
+    with pytest.raises(ValueError):
+        strong_scaling_table(lambda p: 1.0, [])
+
+
+def test_weak_scaling_flat_for_ideal_code():
+    rows = weak_scaling_table(lambda p: 10.0, [1, 8, 64])
+    assert all(r["efficiency"] == pytest.approx(1.0) for r in rows)
+
+
+def test_karp_flatt_recovers_serial_fraction():
+    # t(p) = f + (1-f)/p with f = 0.05, unit total work.
+    f = 0.05
+    t = lambda p: f + (1 - f) / p
+    for p in (4, 16, 64):
+        speedup = t(1) / t(p)
+        assert karp_flatt(speedup, p) == pytest.approx(f, rel=1e-9)
+
+
+def test_karp_flatt_validation():
+    with pytest.raises(ValueError):
+        karp_flatt(2.0, 1)
+    with pytest.raises(ValueError):
+        karp_flatt(0.0, 4)
+
+
+def test_crossover_found():
+    a = lambda p: 10.0  # flat
+    b = lambda p: p / 4.0  # linear
+    assert crossover_tasks(a, b, [8, 16, 32, 64, 128]) == 64
+    assert crossover_tasks(a, b, [8, 16]) is None
+
+
+def test_parallel_fraction_fit_recovers_amdahl():
+    fn = amdahl(serial=2.5, parallel=80.0)
+    serial, parallel = parallel_fraction_fit(fn, 2, 32)
+    assert serial == pytest.approx(2.5)
+    assert parallel == pytest.approx(80.0)
+    with pytest.raises(ValueError):
+        parallel_fraction_fit(fn, 8, 8)
+
+
+def test_pop_karp_flatt_rises_with_scale():
+    """POP's 'serial fraction' rises with p: it is not serial code but the
+    latency-bound barotropic phase masquerading as one (paper §6.2)."""
+    time_fn = lambda p: POPModel(xt4("VN"), p).seconds_per_simulated_day()
+    base = time_fn(500)
+    e_small = karp_flatt(base / time_fn(2000), 4)
+    e_large = karp_flatt(base / time_fn(8000), 16)
+    assert e_large > e_small

@@ -1,0 +1,59 @@
+"""Tests for shape-check primitives."""
+
+import pytest
+
+from repro.core import ShapeCheck, ShapeCheckFailure
+
+
+def test_expect_records_pass_and_fail():
+    c = ShapeCheck("x")
+    assert c.expect("good", True)
+    assert not c.expect("bad", False, "detail")
+    assert not c.passed
+    assert c.failures == ["bad: detail"]
+
+
+def test_expect_greater_with_margin():
+    c = ShapeCheck("x")
+    assert c.expect_greater("a", 10, 5)
+    assert not c.expect_greater("b", 10, 9, margin=1.5)
+
+
+def test_expect_ratio():
+    c = ShapeCheck("x")
+    assert c.expect_ratio("in", 12, 10, 1.1, 1.3)
+    assert not c.expect_ratio("out", 20, 10, 1.1, 1.3)
+    assert not c.expect_ratio("div0", 1, 0, 0, 2)
+
+
+def test_expect_close():
+    c = ShapeCheck("x")
+    assert c.expect_close("ok", 1.05, 1.0, rel=0.1)
+    assert not c.expect_close("no", 1.5, 1.0, rel=0.1)
+
+
+def test_expect_monotone():
+    c = ShapeCheck("x")
+    assert c.expect_monotone("up", [1, 2, 3])
+    assert not c.expect_monotone("not up", [1, 3, 2])
+    assert c.expect_monotone("down", [3, 2, 1], increasing=False)
+    assert c.expect_monotone("slack ok", [1.0, 0.99, 1.5], slack=0.02)
+
+
+def test_expect_flat():
+    c = ShapeCheck("x")
+    assert c.expect_flat("flat", [1.0, 1.1, 0.95], rel=0.3)
+    assert not c.expect_flat("not flat", [1.0, 2.0], rel=0.3)
+    assert not c.expect_flat("empty", [])
+
+
+def test_summary_and_raise():
+    c = ShapeCheck("figZ")
+    c.expect("ok", True)
+    c.expect("broken", False, "why")
+    assert "PASS" in c.summary() and "FAIL" in c.summary()
+    with pytest.raises(ShapeCheckFailure, match="figZ"):
+        c.raise_if_failed()
+    good = ShapeCheck("y")
+    good.expect("ok", True)
+    good.raise_if_failed()  # no exception

@@ -1,0 +1,43 @@
+"""End-to-end reproduction gate: every paper artifact regenerates and
+passes its qualitative shape checks.
+
+This is the repository's headline test: one parametrized case per table
+and figure in the paper's evaluation.
+"""
+
+import importlib
+
+import pytest
+
+from repro.core import all_experiments, get_experiment
+
+
+@pytest.mark.parametrize("exp_id", sorted(all_experiments()))
+def test_experiment_reproduces_paper_shape(exp_id):
+    driver = get_experiment(exp_id)
+    result = driver()
+    assert result.exp_id == exp_id
+    assert result.series or result.rows
+    module = importlib.import_module(driver.__module__)
+    check = module.shape_checks(result)
+    assert check.checks, f"{exp_id} defines no shape checks"
+    check.raise_if_failed()
+
+
+@pytest.mark.parametrize("exp_id", sorted(all_experiments()))
+def test_experiment_renders(exp_id):
+    from repro.core.report import render_csv, render_result
+
+    result = get_experiment(exp_id)()
+    text = render_result(result)
+    assert result.title in text
+    csv = render_csv(result)
+    assert len(csv.splitlines()) > 1
+
+
+def test_experiments_are_deterministic():
+    a = get_experiment("fig12_13")()
+    b = get_experiment("fig12_13")()
+    for sa, sb in zip(a.series, b.series):
+        assert sa.label == sb.label
+        assert sa.y == sb.y

@@ -1,0 +1,53 @@
+"""Bidirectional bandwidth experiments vs the paper's §5.2 observations."""
+
+import pytest
+
+from repro.hpcc import BidirectionalBandwidth
+from repro.machine import xt3, xt3_dc, xt4
+
+
+def test_two_pair_bandwidth_exactly_half_per_pair():
+    b = BidirectionalBandwidth(xt4())
+    one = b.bandwidth_GBs(4_194_304, pairs=1)
+    two = b.bandwidth_GBs(4_194_304, pairs=2)
+    assert two == pytest.approx(one / 2, rel=0.02)
+
+
+def test_xt4_at_least_1_8x_xt3_dc_for_large_messages():
+    for nbytes in (262_144, 1_048_576, 4_194_304):
+        bw4 = BidirectionalBandwidth(xt4()).bandwidth_GBs(nbytes, 1)
+        bw3 = BidirectionalBandwidth(xt3_dc()).bandwidth_GBs(nbytes, 1)
+        assert bw4 / bw3 >= 1.8
+
+
+def test_two_pair_latency_over_twice_one_pair():
+    for machine in (xt3_dc(), xt4()):
+        b = BidirectionalBandwidth(machine)
+        assert b.latency_us(pairs=2) > 2 * b.latency_us(pairs=1)
+
+
+def test_single_core_xt3_rejects_two_pairs():
+    with pytest.raises(ValueError):
+        BidirectionalBandwidth(xt3()).bandwidth_GBs(1024, pairs=2)
+
+
+def test_invalid_args():
+    b = BidirectionalBandwidth(xt4())
+    with pytest.raises(ValueError):
+        b.bandwidth_GBs(0, pairs=1)
+    with pytest.raises(ValueError):
+        b.bandwidth_GBs(1024, pairs=3)
+
+
+def test_bandwidth_monotone_in_message_size():
+    b = BidirectionalBandwidth(xt4())
+    sizes, bws = b.sweep(pairs=1, sizes=(64, 4096, 262_144, 4_194_304))
+    assert bws == sorted(bws)  # latency amortizes with size
+
+
+def test_peak_bandwidths_match_injection_model():
+    # Bidirectional peak ≈ 2 x unidirectional MPI bandwidth.
+    bw = BidirectionalBandwidth(xt4()).bandwidth_GBs(8_388_608, 1)
+    assert bw == pytest.approx(2 * 2.1, rel=0.05)
+    bw3 = BidirectionalBandwidth(xt3()).bandwidth_GBs(8_388_608, 1)
+    assert bw3 == pytest.approx(2 * 1.15, rel=0.05)

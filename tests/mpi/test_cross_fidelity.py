@@ -1,0 +1,83 @@
+"""Cross-fidelity consistency: DES measurements match the analytic costs.
+
+The paper-scale experiments trust the closed-form cost models; these
+tests pin them to what the discrete-event MPI actually charges, so the
+two fidelities cannot drift apart silently.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import xt4
+from repro.mpi import CollectiveCostModel, MPIJob
+from repro.network import NetworkModel
+
+
+def measure_collective(machine, ntasks, op_name, nbytes):
+    """Elapsed simulated time of one collective after a barrier."""
+
+    def main(comm):
+        yield from comm.barrier()
+        t0 = comm.wtime()
+        if op_name == "allreduce":
+            yield from comm.allreduce(b"x" * nbytes)
+        elif op_name == "bcast":
+            yield from comm.bcast(b"x" * nbytes if comm.rank == 0 else None)
+        elif op_name == "alltoall":
+            yield from comm.alltoall([b"x" * nbytes] * comm.size)
+        elif op_name == "barrier":
+            yield from comm.barrier()
+        else:  # pragma: no cover
+            raise AssertionError(op_name)
+        return comm.wtime() - t0
+
+    job = MPIJob(machine, ntasks)
+    result = job.run(main)
+    return max(result.returns)
+
+
+@pytest.mark.parametrize("mode", ["SN", "VN"])
+@pytest.mark.parametrize("op,nbytes", [
+    ("barrier", 0),
+    ("allreduce", 8),
+    ("allreduce", 65536),
+    ("bcast", 4096),
+    ("alltoall", 1024),
+])
+def test_des_collective_matches_cost_model(mode, op, nbytes):
+    machine = xt4(mode)
+    p = 16
+    costs = CollectiveCostModel.for_machine(NetworkModel(machine), p)
+    expected = {
+        "barrier": costs.barrier_s,
+        "allreduce": lambda: costs.allreduce_s(nbytes),
+        "bcast": lambda: costs.bcast_s(nbytes),
+        "alltoall": lambda: costs.alltoall_s(nbytes),
+    }[op]()
+    measured = measure_collective(machine, p, op, nbytes)
+    assert measured == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(nbytes=st.integers(min_value=8, max_value=4_000_000))
+def test_des_pt2pt_time_matches_model_property(nbytes):
+    machine = xt4("SN")
+    model = NetworkModel(machine)
+
+    def main(comm):
+        if comm.rank == 0:
+            t0 = comm.wtime()
+            yield from comm.send(b"", dest=1, nbytes=nbytes)
+            return comm.wtime() - t0
+        yield from comm.recv(source=0)
+        return None
+
+    measured = MPIJob(machine, 2).run(main).returns[0]
+    expected = model.pt2pt_time_s(nbytes, hops=1)
+    assert measured == pytest.approx(expected, rel=0.02)
+
+
+def test_vn_des_collective_slower_than_sn():
+    sn = measure_collective(xt4("SN"), 16, "alltoall", 4096)
+    vn = measure_collective(xt4("VN"), 16, "alltoall", 4096)
+    assert vn > sn

@@ -1,0 +1,71 @@
+"""Tests for payload sizing and reduction operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi import payload_nbytes, reduce_values
+
+
+def test_none_is_zero_bytes():
+    assert payload_nbytes(None) == 0
+
+
+def test_numpy_array_nbytes():
+    a = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(a) == 800
+    assert payload_nbytes(np.float32(1.5)) == 4
+
+
+def test_bytes_and_str():
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes("héllo") == len("héllo".encode())
+
+
+def test_scalars_are_8_bytes():
+    assert payload_nbytes(5) == 8
+    assert payload_nbytes(3.14) == 8
+    assert payload_nbytes(True) == 8
+
+
+def test_containers_sum_elements():
+    assert payload_nbytes([1, 2.0, b"xy"]) == 8 + 8 + 2
+    assert payload_nbytes({(1): b"xxxx"}) == 8 + 4
+    assert payload_nbytes((np.zeros(2), np.zeros(3))) == 16 + 24
+
+
+def test_generic_object_falls_back_to_pickle():
+    class Thing:
+        pass
+
+    assert payload_nbytes(Thing()) > 0
+
+
+def test_reduce_sum_scalars():
+    assert reduce_values([1, 2, 3], "sum") == 6
+    assert reduce_values([2, 3], "prod") == 6
+    assert reduce_values([4, 1, 3], "max") == 4
+    assert reduce_values([4, 1, 3], "min") == 1
+
+
+def test_reduce_arrays_elementwise():
+    a = np.array([1.0, 5.0])
+    b = np.array([3.0, 2.0])
+    assert np.array_equal(reduce_values([a, b], "sum"), [4.0, 7.0])
+    assert np.array_equal(reduce_values([a, b], "max"), [3.0, 5.0])
+    # Inputs are not mutated.
+    assert np.array_equal(a, [1.0, 5.0])
+
+
+def test_reduce_validation():
+    with pytest.raises(ValueError):
+        reduce_values([1], "xor")
+    with pytest.raises(ValueError):
+        reduce_values([], "sum")
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20))
+def test_reduce_matches_builtins(xs):
+    assert reduce_values(xs, "sum") == sum(xs)
+    assert reduce_values(xs, "max") == max(xs)
+    assert reduce_values(xs, "min") == min(xs)

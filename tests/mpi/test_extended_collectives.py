@@ -1,0 +1,90 @@
+"""Tests for reduce_scatter, scan and exscan."""
+
+import numpy as np
+import pytest
+
+from repro.machine import xt4
+from repro.mpi import CollectiveCostModel, MPIJob
+from repro.network import NetworkModel
+
+
+def run(fn, ntasks=4, mode="SN"):
+    return MPIJob(xt4(mode), ntasks).run(fn)
+
+
+def test_reduce_scatter_semantics():
+    def main(comm):
+        # rank r contributes [r, 10+r, 20+r, 30+r]
+        values = [10 * slot + comm.rank for slot in range(comm.size)]
+        mine = yield from comm.reduce_scatter(values, op="sum")
+        return mine
+
+    res = run(main)
+    # slot i combined = sum over ranks of (10*i + r) = 40*i + 6
+    assert res.returns == [6, 46, 86, 126]
+
+
+def test_reduce_scatter_arrays():
+    def main(comm):
+        values = [np.full(3, float(comm.rank)) for _ in range(comm.size)]
+        mine = yield from comm.reduce_scatter(values, op="sum")
+        return mine.tolist()
+
+    res = run(main, ntasks=3)
+    assert res.returns[0] == [3.0, 3.0, 3.0]
+
+
+def test_reduce_scatter_validation():
+    def main(comm):
+        yield from comm.reduce_scatter([1])
+
+    with pytest.raises(ValueError):
+        run(main, ntasks=2)
+
+
+def test_scan_inclusive_prefix():
+    def main(comm):
+        out = yield from comm.scan(comm.rank + 1, op="sum")
+        return out
+
+    res = run(main, ntasks=5)
+    assert res.returns == [1, 3, 6, 10, 15]
+
+
+def test_scan_max():
+    def main(comm):
+        data = [3, 1, 4, 1, 5][comm.rank]
+        out = yield from comm.scan(data, op="max")
+        return out
+
+    res = run(main, ntasks=5)
+    assert res.returns == [3, 3, 4, 4, 5]
+
+
+def test_exscan():
+    def main(comm):
+        out = yield from comm.exscan(comm.rank + 1, op="sum")
+        return out
+
+    res = run(main, ntasks=4)
+    assert res.returns == [None, 1, 3, 6]
+
+
+def test_cost_models_nonnegative_and_free_for_one_task():
+    c = CollectiveCostModel.for_machine(NetworkModel(xt4("SN")), 1)
+    assert c.reduce_scatter_s(1024) == 0.0
+    assert c.scan_s(8) == 0.0
+    c64 = CollectiveCostModel.for_machine(NetworkModel(xt4("VN")), 64)
+    assert c64.reduce_scatter_s(8192) > 0
+    assert c64.scan_s(8) > 0
+    with pytest.raises(ValueError):
+        c64.reduce_scatter_s(-1)
+    with pytest.raises(ValueError):
+        c64.scan_s(-1)
+
+
+def test_reduce_scatter_cheaper_than_allreduce():
+    """It's half of Rabenseifner's allreduce, so it must cost less."""
+    c = CollectiveCostModel.for_machine(NetworkModel(xt4("SN")), 256)
+    m = 1 << 20
+    assert c.reduce_scatter_s(m) < c.allreduce_s(m)

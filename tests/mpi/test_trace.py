@@ -1,0 +1,75 @@
+"""Tests for MPI event tracing and the text Gantt renderer."""
+
+import pytest
+
+from repro.machine import xt4
+from repro.mpi import MPIJob, profiled_job_run
+from repro.mpi.profiler import render_timeline
+
+
+def traced(fn, ntasks=4):
+    job = MPIJob(xt4("SN"), ntasks)
+    return profiled_job_run(job, fn, trace=True)
+
+
+def test_events_recorded_in_time_order():
+    def main(comm):
+        yield from comm.barrier()
+        yield from comm.allreduce(1.0)
+        yield from comm.barrier()
+        return None
+
+    result, profiles = traced(main)
+    events = profiles[0].events
+    assert [e.op for e in events] == ["barrier", "allreduce", "barrier"]
+    assert all(e.t1 >= e.t0 for e in events)
+    assert events[0].t1 <= events[1].t0 <= events[2].t0
+
+
+def test_trace_disabled_by_default():
+    def main(comm):
+        yield from comm.barrier()
+        return None
+
+    job = MPIJob(xt4("SN"), 2)
+    _, profiles = profiled_job_run(job, main)
+    assert profiles[0].events == []
+    assert profiles[0].ops["barrier"].calls == 1
+
+
+def test_event_durations_match_opstats():
+    def main(comm):
+        yield from comm.allreduce(1.0)
+        yield from comm.allreduce(2.0)
+        return None
+
+    _, profiles = traced(main)
+    p = profiles[0]
+    assert sum(e.duration_s for e in p.events) == pytest.approx(
+        p.ops["allreduce"].time_s
+    )
+
+
+def test_render_timeline():
+    def main(comm):
+        yield from comm.compute(1e7)
+        payloads = [b"x" * 50_000] * comm.size
+        yield from comm.alltoallv(payloads)
+        yield from comm.compute(1e7)
+        yield from comm.barrier()  # last event: owns the final column
+        return None
+
+    result, profiles = traced(main)
+    chart = render_timeline(profiles, result.elapsed_s, width=40)
+    lines = chart.splitlines()
+    assert lines[0].startswith("MPI timeline")
+    assert len([l for l in lines if l.startswith("rank")]) == 4
+    body = "\n".join(lines[1:-1])
+    assert "." in body  # compute time visible
+    assert "T" in body  # alltoallv visible
+    assert "|" in body  # barrier visible
+
+
+def test_render_timeline_validation():
+    with pytest.raises(ValueError):
+        render_timeline({}, 0.0)

@@ -1,0 +1,88 @@
+"""Tests for link utilization / hotspot diagnostics on the DES network."""
+
+import pytest
+
+from repro.machine import xt4
+from repro.mpi import MPIJob
+
+
+def run_job(ntasks, fn, mode="SN"):
+    job = MPIJob(xt4(mode), ntasks)
+    result = job.run(fn)
+    return job, result
+
+
+def test_link_bytes_accumulate():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"", dest=1, nbytes=1_000_000)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0)
+        return None
+
+    job, _ = run_job(2, main)
+    assert sum(job.network.link_bytes.values()) == 1_000_000
+    assert job.network.transfers_completed == 1
+
+
+def test_multi_hop_charges_every_link():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"", dest=5, nbytes=500_000)
+        elif comm.rank == 5:
+            yield from comm.recv(source=0)
+        return None
+
+    job, _ = run_job(6, main)
+    hops = job.placement.hops(0, 5)
+    assert hops > 1
+    assert len(job.network.link_bytes) == hops
+    assert sum(job.network.link_bytes.values()) == 500_000 * hops
+
+
+def test_hotspot_report_ranks_by_bytes():
+    def main(comm):
+        # Everyone sends to rank 0: its incoming links are the hotspots.
+        if comm.rank != 0:
+            yield from comm.send(b"", dest=0, nbytes=100_000 * comm.rank)
+        else:
+            for _ in range(comm.size - 1):
+                yield from comm.recv()
+        return None
+
+    job, _ = run_job(6, main)
+    report = job.network.hotspot_report(top=3)
+    assert len(report) == 3
+    bytes_ranked = [b for _, b in report]
+    assert bytes_ranked == sorted(bytes_ranked, reverse=True)
+
+
+def test_utilization_between_zero_and_one():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"", dest=1, nbytes=8_000_000)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0)
+        yield from comm.barrier()
+        return None
+
+    job, _ = run_job(2, main)
+    (link, _), = job.network.hotspot_report(top=1)
+    u = job.network.utilization(link)
+    assert 0.0 < u <= 1.0
+    # Untouched links report zero.
+    other = (link[0], (link[1] + 1) % 3, link[2])
+    assert job.network.utilization(other) == 0.0
+
+
+def test_intranode_traffic_not_counted_as_link_traffic():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"", dest=1, nbytes=1_000_000)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0)
+        return None
+
+    job, _ = run_job(2, main, mode="VN")  # both ranks on one node
+    assert job.network.link_bytes == {}
+    assert job.network.transfers_completed == 1

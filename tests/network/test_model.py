@@ -1,0 +1,141 @@
+"""Tests for the analytic network model against the paper's Figures 2-3."""
+
+import pytest
+
+from repro.machine import xt3, xt4
+from repro.network import NetworkModel
+
+
+@pytest.fixture
+def net_xt3():
+    return NetworkModel(xt3())
+
+
+@pytest.fixture
+def net_xt4_sn():
+    return NetworkModel(xt4("SN"))
+
+
+@pytest.fixture
+def net_xt4_vn():
+    return NetworkModel(xt4("VN"))
+
+
+# ------------------------------------------------------------------- latency
+def test_latency_xt4_sn_beats_xt3(net_xt3, net_xt4_sn):
+    # Fig. 2: XT4-SN ~4.5us best case vs XT3 ~6us.
+    assert net_xt4_sn.pingpong_latency_us("min") == pytest.approx(4.55, rel=0.02)
+    assert net_xt3.pingpong_latency_us("min") == pytest.approx(6.05, rel=0.02)
+
+
+def test_latency_vn_worst_case_approaches_18us(net_xt4_vn):
+    worst = net_xt4_vn.pingpong_latency_us("max")
+    assert 15.0 < worst < 20.0
+
+
+def test_latency_vn_above_sn_everywhere(net_xt4_sn, net_xt4_vn):
+    for which in ("min", "avg", "max"):
+        assert net_xt4_vn.pingpong_latency_us(which) > net_xt4_sn.pingpong_latency_us(
+            which
+        )
+
+
+def test_latency_ordering_min_avg_max(net_xt4_vn, net_xt4_sn, net_xt3):
+    for net in (net_xt4_vn, net_xt4_sn, net_xt3):
+        lmin = net.pingpong_latency_us("min")
+        lavg = net.pingpong_latency_us("avg")
+        lmax = net.pingpong_latency_us("max")
+        assert lmin <= lavg <= lmax
+
+
+def test_latency_invalid_which(net_xt3):
+    with pytest.raises(ValueError):
+        net_xt3.pingpong_latency_us("median")
+
+
+def test_base_latency_validation(net_xt3):
+    with pytest.raises(ValueError):
+        net_xt3.base_latency_s(hops=-1)
+    with pytest.raises(ValueError):
+        net_xt3.base_latency_s(contended_fraction=1.5)
+
+
+def test_vn_contention_grows_with_job_size(net_xt4_vn):
+    small = net_xt4_vn.pingpong_latency_us("max", job_nodes=8)
+    large = net_xt4_vn.pingpong_latency_us("max", job_nodes=4096)
+    assert large > small
+
+
+# ---------------------------------------------------------------- bandwidth
+def test_pingpong_bw_matches_paper(net_xt3, net_xt4_sn):
+    # Fig. 3: XT3 1.15 GB/s; XT4 just over 2 GB/s.
+    assert net_xt3.pingpong_bandwidth_GBs() == pytest.approx(1.15, rel=0.02)
+    assert net_xt4_sn.pingpong_bandwidth_GBs() == pytest.approx(2.1, rel=0.02)
+
+
+def test_vn_splits_injection_bandwidth(net_xt4_sn, net_xt4_vn):
+    assert net_xt4_vn.task_bandwidth_GBs() == pytest.approx(
+        net_xt4_sn.task_bandwidth_GBs() / 2
+    )
+
+
+def test_ring_bandwidth_orderings(net_xt3, net_xt4_sn, net_xt4_vn):
+    # XT4-SN improves both ring bandwidths over XT3 (paper 5.1.1).
+    assert net_xt4_sn.natural_ring_bandwidth_GBs() > net_xt3.natural_ring_bandwidth_GBs()
+    assert net_xt4_sn.random_ring_bandwidth_GBs(
+        job_nodes=512
+    ) > net_xt3.random_ring_bandwidth_GBs(job_nodes=512)
+    # VN per-core natural ring slightly worse than XT3 per core ...
+    assert (
+        net_xt4_vn.natural_ring_bandwidth_GBs()
+        < net_xt3.natural_ring_bandwidth_GBs()
+    )
+    # ... but per-socket better.
+    assert (
+        2 * net_xt4_vn.natural_ring_bandwidth_GBs()
+        > net_xt3.natural_ring_bandwidth_GBs()
+    )
+
+
+def test_random_ring_below_natural_ring(net_xt4_sn):
+    assert (
+        net_xt4_sn.random_ring_bandwidth_GBs()
+        < net_xt4_sn.natural_ring_bandwidth_GBs()
+    )
+
+
+def test_pt2pt_time_monotone_in_size(net_xt4_sn):
+    t1 = net_xt4_sn.pt2pt_time_s(1_000)
+    t2 = net_xt4_sn.pt2pt_time_s(1_000_000)
+    assert t2 > t1
+
+
+def test_pt2pt_zero_bytes_is_latency(net_xt4_sn):
+    assert net_xt4_sn.pt2pt_time_s(0, hops=1) == pytest.approx(
+        net_xt4_sn.base_latency_s(1)
+    )
+
+
+def test_pt2pt_validation(net_xt4_sn):
+    with pytest.raises(ValueError):
+        net_xt4_sn.pt2pt_time_s(-5)
+    with pytest.raises(ValueError):
+        net_xt4_sn.task_bandwidth_GBs(0)
+
+
+def test_intranode_cheaper_than_network_for_small_messages(net_xt4_vn):
+    assert net_xt4_vn.intranode_time_s(8) < net_xt4_vn.pt2pt_time_s(8)
+
+
+def test_bisection_bw_scales_with_job(net_xt4_sn):
+    small = net_xt4_sn.bisection_bw_GBs(job_nodes=64)
+    large = net_xt4_sn.bisection_bw_GBs(job_nodes=4096)
+    assert large > small
+
+
+def test_bisection_unchanged_xt3_to_xt4(net_xt3, net_xt4_sn):
+    # Same sustained link bandwidth => same bisection for same job size:
+    # the PTRANS observation (Fig. 10).
+    b3 = net_xt3.bisection_bw_GBs(job_nodes=1000)
+    b4 = net_xt4_sn.bisection_bw_GBs(job_nodes=1000)
+    assert b4 == pytest.approx(b3, rel=0.15)  # sub-torus shapes differ slightly

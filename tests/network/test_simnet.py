@@ -1,0 +1,105 @@
+"""Tests for the discrete-event network: contention shapes from Figs 12-13."""
+
+import pytest
+
+from repro.machine import xt4
+from repro.network import NetworkModel, SimNetwork
+from repro.simengine import Simulator
+
+
+def run_transfers(machine, transfers):
+    """Run a set of (src, dst, nbytes) transfers concurrently; return spans."""
+    sim = Simulator()
+    net = SimNetwork(sim, machine)
+    model = NetworkModel(machine)
+    spans = {}
+
+    def mover(key, src, dst, nbytes):
+        start = sim.now
+        yield from net.transfer(src, dst, nbytes, model.base_latency_s(1))
+        spans[key] = (start, sim.now)
+
+    for i, (src, dst, nbytes) in enumerate(transfers):
+        sim.spawn(mover(i, src, dst, nbytes))
+    sim.run()
+    return spans, net
+
+
+def test_single_transfer_time_matches_model():
+    machine = xt4("SN")
+    spans, net = run_transfers(machine, [(0, 1, 1_000_000)])
+    start, end = spans[0]
+    model = NetworkModel(machine)
+    expected = model.base_latency_s(1) + 1_000_000 / (net.bottleneck_bw_GBs() * 1e9)
+    assert end - start == pytest.approx(expected, rel=1e-9)
+
+
+def test_two_messages_same_path_serialize():
+    machine = xt4("SN")
+    nbytes = 4_000_000
+    solo, net = run_transfers(machine, [(0, 1, nbytes)])
+    both, _ = run_transfers(machine, [(0, 1, nbytes), (0, 1, nbytes)])
+    solo_time = solo[0][1] - solo[0][0]
+    finish = max(e for _, e in both.values())
+    # Two messages through one NIC/link take ~2x one message's hold time.
+    hold = nbytes / (net.bottleneck_bw_GBs() * 1e9)
+    assert finish == pytest.approx(solo_time + hold, rel=0.01)
+
+
+def test_disjoint_paths_do_not_contend():
+    machine = xt4("SN")
+    nbytes = 4_000_000
+    spans, _ = run_transfers(machine, [(0, 1, nbytes), (2, 3, nbytes)])
+    (s0, e0), (s1, e1) = spans[0], spans[1]
+    assert e0 == pytest.approx(e1)  # both finish together: no shared resource
+
+
+def test_opposite_directions_use_distinct_links():
+    machine = xt4("SN")
+    nbytes = 4_000_000
+    spans, _ = run_transfers(machine, [(0, 1, nbytes), (1, 0, nbytes)])
+    e0, e1 = spans[0][1], spans[1][1]
+    solo, _ = run_transfers(machine, [(0, 1, nbytes)])
+    solo_end = solo[0][1]
+    assert e0 == pytest.approx(solo_end, rel=1e-9)
+    assert e1 == pytest.approx(solo_end, rel=1e-9)
+
+
+def test_intranode_transfer_skips_nic():
+    machine = xt4("VN")
+    sim = Simulator()
+    net = SimNetwork(sim, machine)
+
+    def mover():
+        yield from net.transfer(0, 0, 1_000_000, latency_s=0.0)
+
+    sim.spawn(mover())
+    sim.run()
+    expected = 0.8e-6 + 1_000_000 / (net.intranode_bw_GBs() * 1e9)
+    assert sim.now == pytest.approx(expected, rel=1e-9)
+    assert net.transfers_completed == 1
+
+
+def test_negative_bytes_rejected():
+    machine = xt4("SN")
+    sim = Simulator()
+    net = SimNetwork(sim, machine)
+
+    def mover():
+        yield from net.transfer(0, 1, -1, 0.0)
+
+    sim.spawn(mover())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_many_crossing_transfers_complete_without_deadlock():
+    machine = xt4("SN")
+    # All-to-all-ish burst among 8 nodes spread across the torus.
+    nodes = [0, 5, 17, 100, 233, 512, 901, 1400]
+    transfers = [
+        (a, b, 100_000) for a in nodes for b in nodes if a != b
+    ]
+    spans, net = run_transfers(machine, transfers)
+    assert len(spans) == len(transfers)
+    assert net.transfers_completed == len(transfers)

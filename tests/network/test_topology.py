@@ -1,0 +1,150 @@
+"""Tests for the 3D torus topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network import Torus3D
+
+dims_strategy = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(ValueError):
+        Torus3D((0, 2, 2))
+
+
+def test_num_nodes():
+    assert Torus3D((2, 3, 4)).num_nodes == 24
+
+
+def test_coord_node_id_roundtrip():
+    t = Torus3D((3, 4, 5))
+    for nid in t:
+        assert t.node_id(t.coord(nid)) == nid
+
+
+def test_coord_out_of_range():
+    t = Torus3D((2, 2, 2))
+    with pytest.raises(ValueError):
+        t.coord(8)
+    with pytest.raises(ValueError):
+        t.node_id((2, 0, 0))
+
+
+def test_hops_to_self_is_zero():
+    t = Torus3D((4, 4, 4))
+    assert t.hops(5, 5) == 0
+
+
+def test_hops_uses_wraparound():
+    t = Torus3D((8, 1, 1))
+    # 0 -> 7 is one hop backwards around the ring, not 7 forwards.
+    assert t.hops(0, 7) == 1
+    assert t.hops(0, 4) == 4  # antipodal
+
+
+def test_hops_symmetric():
+    t = Torus3D((4, 5, 6))
+    for a, b in [(0, 17), (3, 100), (42, 99)]:
+        assert t.hops(a, b) == t.hops(b, a)
+
+
+def test_diameter():
+    assert Torus3D((4, 4, 4)).diameter == 6
+    assert Torus3D((8, 1, 1)).diameter == 4
+    assert Torus3D((5, 5, 5)).diameter == 6
+
+
+def test_route_length_equals_hops():
+    t = Torus3D((4, 5, 6))
+    for a, b in [(0, 0), (0, 1), (0, 119), (17, 80)]:
+        assert len(t.route(a, b)) == t.hops(a, b)
+
+
+def test_route_is_dimension_ordered():
+    t = Torus3D((4, 4, 4))
+    route = t.route(0, t.node_id((2, 1, 3)))
+    dims_in_order = [d for _, d, _ in route]
+    assert dims_in_order == sorted(dims_in_order)
+
+
+def test_route_links_form_connected_path():
+    t = Torus3D((5, 4, 3))
+    a, b = 0, t.node_id((3, 2, 1))
+    cur = list(t.coord(a))
+    for coord, d, direction in t.route(a, b):
+        assert tuple(cur) == coord
+        cur[d] = (cur[d] + direction) % t.dims[d]
+    assert tuple(cur) == t.coord(b)
+
+
+def test_neighbors_count_and_distance():
+    t = Torus3D((4, 4, 4))
+    n = t.neighbors(0)
+    assert len(n) == 6
+    assert all(t.hops(0, x) == 1 for x in n)
+
+
+def test_neighbors_small_ring_dedup():
+    # In a 2-ring, +1 and -1 reach the same node.
+    t = Torus3D((2, 1, 1))
+    assert t.neighbors(0) == [1]
+
+
+def test_avg_hops_even_ring():
+    # 1D even ring of size 8: mean shortest distance = 2 = 8/4.
+    assert Torus3D((8, 1, 1)).avg_hops_random_pair == pytest.approx(2.0)
+
+
+def test_avg_hops_odd_ring():
+    # size 5: (25-1)/20 = 1.2
+    assert Torus3D((5, 1, 1)).avg_hops_random_pair == pytest.approx(1.2)
+
+
+def test_num_directed_links():
+    assert Torus3D((4, 4, 4)).num_directed_links == 6 * 64
+    assert Torus3D((2, 1, 1)).num_directed_links == 2  # collapsed ring
+    assert Torus3D((1, 1, 1)).num_directed_links == 0
+
+
+def test_bisection_links():
+    # Cut the largest dimension (4): 2 dirs x 2 (wrap) x 2x3 cross-section.
+    assert Torus3D((2, 3, 4)).bisection_links() == 2 * 2 * 2 * 3
+    assert Torus3D((1, 1, 1)).bisection_links() == 0
+
+
+def test_sub_torus_dims_encloses_and_bounded():
+    t = Torus3D((14, 16, 24))
+    for n in [1, 7, 100, 1024, t.num_nodes]:
+        dims = t.sub_torus_dims(n)
+        assert dims[0] * dims[1] * dims[2] >= n
+        for d, full in zip(dims, t.dims):
+            assert 1 <= d <= full
+
+
+def test_sub_torus_dims_validation():
+    t = Torus3D((4, 4, 4))
+    with pytest.raises(ValueError):
+        t.sub_torus_dims(0)
+    with pytest.raises(ValueError):
+        t.sub_torus_dims(65)
+
+
+@given(dims_strategy, st.integers(min_value=0, max_value=10_000))
+def test_hops_le_diameter_property(dims, seed):
+    t = Torus3D(dims)
+    a = seed % t.num_nodes
+    b = (seed * 7 + 3) % t.num_nodes
+    assert 0 <= t.hops(a, b) <= t.diameter
+
+
+@given(dims_strategy, st.integers(min_value=0, max_value=10_000))
+def test_route_matches_hops_property(dims, seed):
+    t = Torus3D(dims)
+    a = seed % t.num_nodes
+    b = (seed * 13 + 1) % t.num_nodes
+    assert len(t.route(a, b)) == t.hops(a, b)

@@ -1,0 +1,101 @@
+"""Unit tests for the pending-event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simengine.queue import EventQueue
+
+
+def test_empty_queue_pop_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_empty_queue_is_falsy():
+    q = EventQueue()
+    assert not q
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    out = []
+    q.push(3.0, lambda: out.append("c"))
+    q.push(1.0, lambda: out.append("a"))
+    q.push(2.0, lambda: out.append("b"))
+    while q:
+        _, cb = q.pop()
+        cb()
+    assert out == ["a", "b", "c"]
+
+
+def test_fifo_among_equal_times():
+    q = EventQueue()
+    out = []
+    for i in range(10):
+        q.push(5.0, lambda i=i: out.append(i))
+    while q:
+        q.pop()[1]()
+    assert out == list(range(10))
+
+
+def test_cancel_skips_entry():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: "keep")
+    drop = q.push(0.5, lambda: "drop")
+    q.cancel(drop)
+    assert len(q) == 1
+    t, cb = q.pop()
+    assert t == 1.0
+    assert cb() == "keep"
+    assert not q
+
+
+def test_cancel_twice_is_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push(0.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(head)
+    assert q.peek_time() == 2.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=200))
+def test_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while q:
+        popped.append(q.pop()[0])
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False), st.booleans()),
+        max_size=100,
+    )
+)
+def test_cancellation_property(entries):
+    """Live count and pop sequence respect cancellations."""
+    q = EventQueue()
+    handles = [(q.push(t, lambda: None), t, cancel) for t, cancel in entries]
+    expected = sorted(t for _, t, cancel in handles if not cancel)
+    for h, _, cancel in handles:
+        if cancel:
+            q.cancel(h)
+    assert len(q) == len(expected)
+    got = []
+    while q:
+        got.append(q.pop()[0])
+    assert got == expected

@@ -1,0 +1,154 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.simengine import Delay, Resource, Simulator, Store
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_single_slot_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="nic")
+    spans = []
+
+    def holder(tag):
+        yield res.request()
+        start = sim.now
+        yield Delay(2.0)
+        res.release()
+        spans.append((tag, start, sim.now))
+
+    for tag in "abc":
+        sim.spawn(holder(tag))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0), ("c", 4.0, 6.0)]
+
+
+def test_two_slots_allow_two_concurrent():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    ends = []
+
+    def holder():
+        yield res.request()
+        yield Delay(1.0)
+        res.release()
+        ends.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(holder())
+    sim.run()
+    assert ends == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_use_helper_releases_on_completion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield from res.use(1.5)
+
+    sim.spawn(holder())
+    sim.spawn(holder())
+    sim.run()
+    assert sim.now == 3.0
+    assert res.in_use == 0
+
+
+def test_release_idle_resource_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_queue_length_reporting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield res.request()
+        yield Delay(5.0)
+        res.release()
+
+    def waiter():
+        yield res.request()
+        res.release()
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(waiter())
+    sim.run(until=1.0)
+    assert res.in_use == 1
+    assert res.queue_length == 2
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append(item)
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.spawn(getter())
+    sim.schedule(3.0, lambda: store.put("late"))
+    sim.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_match_filter_fifo_among_matches():
+    sim = Simulator()
+    store = Store(sim)
+    for item in [("a", 1), ("b", 2), ("a", 3)]:
+        store.put(item)
+    got = []
+
+    def getter():
+        item = yield store.get(match=lambda it: it[0] == "a")
+        got.append(item)
+        item = yield store.get(match=lambda it: it[0] == "a")
+        got.append(item)
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == [("a", 1), ("a", 3)]
+    assert store.peek_all() == [("b", 2)]
+
+
+def test_store_waiting_getter_with_filter_skips_nonmatching_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        item = yield store.get(match=lambda it: it == "wanted")
+        got.append((sim.now, item))
+
+    sim.spawn(getter())
+    sim.schedule(1.0, lambda: store.put("other"))
+    sim.schedule(2.0, lambda: store.put("wanted"))
+    sim.run()
+    assert got == [(2.0, "wanted")]
+    assert store.peek_all() == ["other"]

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+    if p.stem != "regenerate_paper"  # covered (faster) via the CLI tests
+)
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    mod = _load(path)
+    if path.stem == "lustre_io_study":
+        mod.stripe_sweep()
+        mod.client_sweep()
+    else:
+        mod.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_regenerate_paper_example(tmp_path, capsys):
+    mod = _load(
+        pathlib.Path(__file__).parent.parent / "examples" / "regenerate_paper.py"
+    )
+    assert mod.main(str(tmp_path)) == 0
+    assert len(list(tmp_path.glob("*.csv"))) >= 23
