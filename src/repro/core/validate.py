@@ -40,19 +40,34 @@ class ShapeCheck:
 
     def expect_greater(self, name: str, a: float, b: float, margin: float = 1.0) -> bool:
         """``a > b × margin`` (margin < 1 loosens, > 1 demands headroom)."""
-        return self.expect(name, a > b * margin, f"{a:.6g} vs {b:.6g} (margin {margin})")
+        return self.expect(
+            name,
+            a > b * margin,
+            f"expected > {b * margin:.6g} (reference {b:.6g} × margin "
+            f"{margin}), actual {a:.6g}",
+        )
 
     def expect_ratio(
         self, name: str, a: float, b: float, lo: float, hi: float
     ) -> bool:
         """``lo <= a/b <= hi``."""
         ratio = a / b if b else float("inf")
-        return self.expect(name, lo <= ratio <= hi, f"ratio {ratio:.4g} not in [{lo}, {hi}]")
+        return self.expect(
+            name,
+            lo <= ratio <= hi,
+            f"expected ratio in [{lo}, {hi}], actual {ratio:.4g} "
+            f"(a={a:.6g}, b={b:.6g})",
+        )
 
     def expect_close(self, name: str, a: float, b: float, rel: float = 0.1) -> bool:
         """``a`` within ``rel`` of ``b``."""
         ok = abs(a - b) <= rel * abs(b)
-        return self.expect(name, ok, f"{a:.6g} vs {b:.6g} (rel {rel})")
+        return self.expect(
+            name,
+            ok,
+            f"expected {b:.6g} within tolerance ±{rel:g} rel, actual "
+            f"{a:.6g} (off by {abs(a - b) / abs(b) if b else float('inf'):.3g} rel)",
+        )
 
     def expect_monotone(
         self, name: str, values: Sequence[float], increasing: bool = True,
@@ -65,15 +80,25 @@ class ShapeCheck:
                 ok = False
             if not increasing and b > a * (1.0 + slack):
                 ok = False
-        return self.expect(name, ok, f"values {list(values)}")
+        direction = "non-decreasing" if increasing else "non-increasing"
+        return self.expect(
+            name,
+            ok,
+            f"expected {direction} (slack {slack:g}), actual {list(values)}",
+        )
 
     def expect_flat(self, name: str, values: Sequence[float], rel: float = 0.3) -> bool:
         """max/min spread within ``rel`` of the mean (weak-scaling flatness)."""
         if not values:
-            return self.expect(name, False, "empty")
+            return self.expect(name, False, "expected non-empty sequence, actual []")
         mean = sum(values) / len(values)
         spread = (max(values) - min(values)) / mean if mean else float("inf")
-        return self.expect(name, spread <= rel, f"spread {spread:.3g} > {rel}")
+        return self.expect(
+            name,
+            spread <= rel,
+            f"expected max-min spread <= {rel:g} of mean, actual "
+            f"{spread:.3g} over {list(values)}",
+        )
 
     # -- reporting -----------------------------------------------------------
     @property
@@ -82,7 +107,17 @@ class ShapeCheck:
 
     @property
     def failures(self) -> List[str]:
-        return [f"{c.name}: {c.detail}" for c in self.checks if not c.passed]
+        """Failed checks as self-contained lines: ``[exp_id] name: detail``.
+
+        Each line names the figure/experiment, the check, the expected
+        value/tolerance and the actual value — so a CI log line is enough
+        to act on without re-running the experiment.
+        """
+        return [
+            f"[{self.exp_id}] {c.name}: {c.detail}"
+            for c in self.checks
+            if not c.passed
+        ]
 
     def summary(self) -> str:
         lines = [f"shape checks for {self.exp_id}:"]

@@ -1,0 +1,48 @@
+"""simlint — simulation-correctness static analysis for this repository.
+
+The generator-based discrete-event MPI makes certain bugs *silent*: a
+``comm.send(...)`` without ``yield from`` never runs, never advances the
+simulated clock, and produces a plausible-looking wrong number in a paper
+figure. ``repro.lint`` is an AST-based checker suite that machine-checks
+the conventions the simulator's correctness rests on:
+
+* ``yield-from`` — process-helper results must be consumed
+  (:mod:`repro.lint.check_yieldfrom`);
+* ``nondet`` — no wall-clock time, no unseeded global RNG, no
+  set-iteration ordering (:mod:`repro.lint.check_determinism`);
+* ``units`` — the ``_bytes`` / ``_gib`` / ``_gbps`` / ``_us`` / ``_s`` /
+  ``_flops`` suffix convention is dimensionally consistent
+  (:mod:`repro.lint.check_units`);
+* ``collective`` — collectives are not guarded by rank-dependent
+  conditionals (:mod:`repro.lint.check_collectives`).
+
+Run it as ``python -m repro.lint [paths]`` (or the ``repro-lint`` console
+script); suppress a deliberate violation with ``# simlint: ignore[RULE]``
+on the offending line. Each rule is documented in ``docs/LINT.md``.
+"""
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    all_checkers,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the checker modules registers them with the framework.
+from repro.lint import check_collectives  # noqa: F401  (registration)
+from repro.lint import check_determinism  # noqa: F401
+from repro.lint import check_units  # noqa: F401
+from repro.lint import check_yieldfrom  # noqa: F401
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "all_checkers",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

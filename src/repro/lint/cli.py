@@ -1,0 +1,87 @@
+"""simlint command line.
+
+Usage::
+
+    python -m repro.lint [paths ...]     # default: src/ if it exists, else .
+    python -m repro.lint --list-rules
+    repro-lint src/                      # console-script form
+
+Exit status: 0 when clean, 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.core import all_checkers, lint_paths
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="simulation-correctness static analysis (simlint)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src/)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule and exit"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids / families to report (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = None
+    if args.select:
+        wanted = {tok.strip() for tok in args.select.split(",") if tok.strip()}
+        known = {"SL001"}
+        for cls in all_checkers():
+            known.add(cls.family)
+            known.update(cls.rules)
+        unknown = wanted - known
+        if unknown:
+            # A typo'd selector must not silently report "clean".
+            print(
+                f"repro-lint: unknown rule/family in --select: "
+                f"{', '.join(sorted(unknown))} (see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.list_rules:
+        for cls in all_checkers():
+            print(f"[{cls.family}]")
+            for rule, desc in sorted(cls.rules.items()):
+                print(f"  {rule}  {desc}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths or _default_paths())
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if wanted:
+        findings = [f for f in findings if f.rule in wanted or f.family in wanted]
+
+    for f in findings:
+        print(f)
+    n = len(findings)
+    if n:
+        print(f"\nsimlint: {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

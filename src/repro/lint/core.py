@@ -1,0 +1,191 @@
+"""simlint framework: findings, the checker registry, pragmas, drivers.
+
+A *checker* is a class with a ``family`` name, a ``rules`` table (rule id →
+one-line description) and a ``check(tree, filename)`` method yielding
+:class:`Finding` objects. Checkers register themselves with
+:func:`register`; :func:`lint_source` runs every registered checker over
+one file and filters findings suppressed by pragmas.
+
+Suppression pragma, on the line the finding points at (or the first line
+of the offending statement)::
+
+    t = time.time()          # simlint: ignore[SL201]
+    t = time.time()          # simlint: ignore[nondet]   (whole family)
+    t = time.time()          # simlint: ignore           (any rule)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Type
+
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([^\]]*)\])?", re.IGNORECASE)
+
+#: Sentinel in the per-line suppression map: every rule is ignored.
+_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # e.g. "SL101"
+    family: str  # e.g. "yield-from"
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.family}] {self.message}"
+
+
+class Checker(Protocol):
+    """Interface every registered checker class implements."""
+
+    family: str
+    rules: Dict[str, str]
+
+    def check(self, tree: ast.Module, filename: str) -> Iterator[Finding]: ...
+
+
+_REGISTRY: List[Type] = []
+
+
+def register(cls: Type) -> Type:
+    """Class decorator adding a checker to the global registry."""
+    for attr in ("family", "rules", "check"):
+        if not hasattr(cls, attr):
+            raise TypeError(f"checker {cls.__name__} lacks {attr!r}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_checkers() -> List[Type]:
+    """The registered checker classes, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_rules() -> Dict[str, str]:
+    """rule id → description across every registered checker."""
+    table: Dict[str, str] = {}
+    for cls in _REGISTRY:
+        table.update(cls.rules)
+    return table
+
+
+# -- suppression -----------------------------------------------------------
+
+def _suppressions(source: str) -> Dict[int, set]:
+    """Per-line suppression sets: line number → {rule ids / families / *}."""
+    out: Dict[int, set] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        spec = m.group(1)
+        if spec is None:
+            out[lineno] = {_ALL}
+        else:
+            out[lineno] = {tok.strip() for tok in spec.split(",") if tok.strip()}
+    return out
+
+
+def _suppressed(finding: Finding, supp: Dict[int, set]) -> bool:
+    tokens = supp.get(finding.line)
+    if not tokens:
+        return False
+    if _ALL in tokens:
+        return True
+    return finding.rule in tokens or finding.family in tokens
+
+
+# -- drivers ---------------------------------------------------------------
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Run every registered checker over ``source``; returns kept findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SL001",
+                family="parse",
+                path=filename,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    supp = _suppressions(source)
+    findings: List[Finding] = []
+    for cls in _REGISTRY:
+        for f in cls().check(tree, filename):
+            if not _suppressed(f, supp):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: "str | Path") -> List[Finding]:
+    """Lint one python file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), filename=str(p))
+
+
+def lint_paths(paths: Sequence["str | Path"]) -> List[Finding]:
+    """Lint files and directory trees (``*.py``, recursively)."""
+    findings: List[Finding] = []
+    for f in sorted(set(_expand(paths))):
+        findings.extend(lint_file(f))
+    return findings
+
+
+def _expand(paths: Iterable["str | Path"]) -> Iterator[Path]:
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            yield from p.rglob("*.py")
+        elif p.suffix == ".py":
+            yield p
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+
+
+# -- shared AST helpers (used by several checkers) -------------------------
+
+def call_name(node: ast.AST) -> str:
+    """The trailing identifier of a call target: ``a.b.c(...)`` → ``"c"``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def iter_function_defs(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every (sync) function definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def own_nodes(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested function defs."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scope: analysed on its own
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_generator(func: ast.FunctionDef) -> bool:
+    """True if ``func`` is a generator function (has its own yield)."""
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own_nodes(func))

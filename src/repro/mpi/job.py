@@ -57,6 +57,10 @@ class MPIJob:
     :param machine: target system bound to an execution mode.
     :param ntasks: MPI tasks (≤ ``machine.max_tasks``).
     :param placement: ``contiguous`` or ``random`` rank layout.
+    :param sanitize: enable the simulator's runtime sanitizers — on
+        deadlock, a :class:`~repro.simengine.SimDeadlockError` names each
+        blocked rank and the store/collective it waits on (instead of the
+        generic "job deadlocked" error).
     :param rank_main: supplied to :meth:`run`: a generator function
         ``rank_main(comm, *args, **kwargs)`` executed by every rank.
     """
@@ -67,10 +71,11 @@ class MPIJob:
         ntasks: int,
         placement: str = "contiguous",
         seed: Optional[int] = None,
+        sanitize: bool = False,
     ) -> None:
         self.machine = machine
         self.ntasks = ntasks
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=sanitize)
         self.placement = Placement(machine, ntasks, strategy=placement, seed=seed)
         self.network = SimNetwork(self.sim, machine)
         self.model = NetworkModel(machine)

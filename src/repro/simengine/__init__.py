@@ -19,8 +19,12 @@ from repro.simengine.event import AllOf, AnyOf, Delay, Event, Interrupt
 from repro.simengine.process import Process, ProcessKilled
 from repro.simengine.queue import EventQueue
 from repro.simengine.resource import Resource, Store
-from repro.simengine.rng import seeded_rng
-from repro.simengine.simulator import Simulator
+from repro.simengine.rng import fork, seeded_rng
+from repro.simengine.simulator import (
+    ResourceLeakError,
+    SimDeadlockError,
+    Simulator,
+)
 
 __all__ = [
     "AllOf",
@@ -32,7 +36,10 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "Resource",
+    "ResourceLeakError",
+    "SimDeadlockError",
     "Simulator",
     "Store",
+    "fork",
     "seeded_rng",
 ]

@@ -14,6 +14,17 @@ class ProcessKilled(Exception):
     """Raised inside a process generator when the process is killed."""
 
 
+def _combinator_desc(kind: str, waitables: Any) -> str:
+    """Human-readable description of an AllOf/AnyOf's *pending* members."""
+    names = []
+    for w in waitables:
+        evt = w.done if isinstance(w, Process) else w
+        if not evt.triggered:
+            names.append(evt.name or "<anonymous event>")
+    shown = ", ".join(names[:4]) + (", ..." if len(names) > 4 else "")
+    return f"{kind}({shown})"
+
+
 class Process:
     """A running simulation activity wrapping a generator.
 
@@ -30,15 +41,23 @@ class Process:
         self._gen = gen
         #: Event triggered with the generator's return value on completion.
         self.done: Event = Event(sim, name=f"{self.name}.done")
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Optional[str] = None
         # First step happens via the scheduler so that spawn() during a
         # callback cascade preserves deterministic ordering.
         sim._queue.push(sim.now, lambda: self._step(None))
+        sim._register_process(self)
 
     # -- public ----------------------------------------------------------
     @property
     def alive(self) -> bool:
         return not self.done.triggered
+
+    @property
+    def waiting_on(self) -> Optional[str]:
+        """Description of the command currently suspending this process
+        (an event/store/resource name), or None when runnable/finished.
+        Maintained for the sanitizers' deadlock reports."""
+        return self._waiting_on
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -56,6 +75,7 @@ class Process:
     def _step(self, send_value: Any) -> None:
         if not self.alive:
             return
+        self._waiting_on = None
         try:
             command = self._gen.send(send_value)
         except StopIteration as stop:
@@ -69,6 +89,7 @@ class Process:
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
+        self._waiting_on = None
         try:
             command = self._gen.throw(exc)
         except StopIteration as stop:
@@ -82,14 +103,19 @@ class Process:
     def _handle(self, command: Any) -> None:
         sim = self.sim
         if isinstance(command, Delay):
+            self._waiting_on = f"Delay({command.dt:g})"
             sim._queue.push(sim.now + command.dt, lambda: self._step(None))
         elif isinstance(command, Event):
+            self._waiting_on = command.name or "<anonymous event>"
             command.add_callback(self._resume_from_event)
         elif isinstance(command, Process):
+            self._waiting_on = f"process {command.name!r}"
             command.done.add_callback(self._resume_from_event)
         elif isinstance(command, AllOf):
+            self._waiting_on = _combinator_desc("AllOf", command.events)
             self._wait_all(command)
         elif isinstance(command, AnyOf):
+            self._waiting_on = _combinator_desc("AnyOf", command.events)
             self._wait_any(command)
         elif command is None:
             # ``yield`` with no argument: cooperative reschedule "now".

@@ -36,6 +36,9 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        self._grants = 0
+        self._releases = 0
+        sim._register_resource(self)
 
     @property
     def in_use(self) -> int:
@@ -50,20 +53,38 @@ class Resource:
         evt = self.sim.event(name=f"{self.name}.grant")
         if self._in_use < self.capacity:
             self._in_use += 1
+            self._grants += 1
             evt.succeed(self)
         else:
             self._waiters.append(evt)
         return evt
 
     def release(self) -> None:
-        """Free one slot, waking the longest-waiting requester if any."""
+        """Free one slot, waking the longest-waiting requester if any.
+
+        Conservation invariants (always checked — they are cheap): a
+        release must match an outstanding grant, and occupancy can never
+        exceed capacity.
+        """
         if self._in_use <= 0:
             raise RuntimeError(f"release() of idle resource {self.name!r}")
+        if self._in_use > self.capacity:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"resource {self.name!r} over-committed: "
+                f"{self._in_use}/{self.capacity}"
+            )
+        self._releases += 1
         if self._waiters:
             # Hand the slot directly to the next waiter: in_use stays put.
+            self._grants += 1
             self._waiters.popleft().succeed(self)
         else:
             self._in_use -= 1
+
+    @property
+    def outstanding(self) -> int:
+        """Grants not yet matched by a release (sanitizer bookkeeping)."""
+        return self._grants - self._releases
 
     def use(self, hold_time: float):
         """Process-helper: acquire, hold for ``hold_time``, release.

@@ -2,11 +2,33 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 from repro.simengine.event import Event
 from repro.simengine.process import Process
 from repro.simengine.queue import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simengine.resource import Resource
+
+
+class SimDeadlockError(RuntimeError):
+    """Raised by a sanitizing simulator at quiescence while processes
+    remain blocked. ``blocked`` maps process name → what it waits on."""
+
+    def __init__(self, blocked: "dict[str, str]") -> None:
+        self.blocked = dict(blocked)
+        lines = [f"  process {name!r} blocked on {waits}"
+                 for name, waits in blocked.items()]
+        super().__init__(
+            "deadlock: event queue empty with "
+            f"{len(blocked)} process(es) still blocked:\n" + "\n".join(lines)
+        )
+
+
+class ResourceLeakError(RuntimeError):
+    """Raised by a sanitizing simulator when every process has finished
+    but a :class:`~repro.simengine.resource.Resource` still holds slots."""
 
 
 class Simulator:
@@ -23,12 +45,26 @@ class Simulator:
         proc = sim.spawn(worker(sim))
         sim.run()
         assert sim.now == 1.0 and proc.done.value == "done"
+
+    With ``sanitize=True`` the simulator additionally runs two runtime
+    sanitizers at quiescence (both opt-in because they keep per-process /
+    per-resource registries):
+
+    * a **deadlock detector** — if the event queue drains while spawned
+      processes are still alive, :class:`SimDeadlockError` reports each
+      blocked process and the store/resource/event it waits on;
+    * a **resource-conservation check** — if every process finished but a
+      resource still has slots in use, :class:`ResourceLeakError` names
+      the leaking resource (an acquire without a matching release).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self.now: float = 0.0
+        self.sanitize = bool(sanitize)
         self._queue = EventQueue()
         self._running = False
+        self._processes: List[Process] = []
+        self._resources: "List[Resource]" = []
 
     # -- construction ------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -51,6 +87,38 @@ class Simulator:
         self.schedule(delay, lambda: evt.succeed(value))
         return evt
 
+    # -- sanitizer registries ----------------------------------------------
+    def _register_process(self, proc: Process) -> None:
+        if self.sanitize:
+            self._processes.append(proc)
+
+    def _register_resource(self, resource: "Resource") -> None:
+        if self.sanitize:
+            self._resources.append(resource)
+
+    def blocked_processes(self) -> "dict[str, str]":
+        """Alive registered processes → description of what blocks them
+        (sanitize mode only; empty otherwise)."""
+        return {
+            p.name: p.waiting_on or "<not yet started>"
+            for p in self._processes
+            if p.alive
+        }
+
+    def _check_quiescence(self) -> None:
+        blocked = self.blocked_processes()
+        if blocked:
+            raise SimDeadlockError(blocked)
+        leaked = [r for r in self._resources if r.in_use > 0]
+        if leaked:
+            detail = ", ".join(
+                f"{r.name or '<unnamed>'!r} holds {r.in_use}/{r.capacity}"
+                for r in leaked
+            )
+            raise ResourceLeakError(
+                f"resource slots leaked after all processes finished: {detail}"
+            )
+
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: int = 0) -> float:
         """Drain the event queue.
@@ -60,6 +128,9 @@ class Simulator:
         :param max_events: optional safety valve; raise if more than this
             many events are processed (0 = unlimited).
         :returns: the simulation time at which the run stopped.
+
+        In sanitize mode, reaching quiescence (rather than ``until``) runs
+        the deadlock and resource-conservation checks.
         """
         if self._running:
             raise RuntimeError("Simulator.run() is not re-entrant")
@@ -82,6 +153,11 @@ class Simulator:
                 processed += 1
                 if max_events and processed > max_events:
                     raise RuntimeError(f"exceeded max_events={max_events}")
+            if self.sanitize and until is None:
+                # A full run drained the queue: nothing in-sim can ever
+                # unblock a still-waiting process. (Bounded runs skip the
+                # check — the caller may trigger events externally.)
+                self._check_quiescence()
             if until is not None:
                 self.now = max(self.now, until)
             return self.now

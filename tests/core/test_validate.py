@@ -10,7 +10,26 @@ def test_expect_records_pass_and_fail():
     assert c.expect("good", True)
     assert not c.expect("bad", False, "detail")
     assert not c.passed
-    assert c.failures == ["bad: detail"]
+    assert c.failures == ["[x] bad: detail"]
+
+
+def test_failure_messages_are_actionable():
+    """Each failure line carries experiment id, expected vs actual, tolerance."""
+    c = ShapeCheck("fig08")
+    c.expect_close("gflops", 2.0, 1.0, rel=0.1)
+    c.expect_ratio("speedup", 20, 10, 1.1, 1.3)
+    c.expect_greater("xt4-wins", 1.0, 2.0, margin=1.5)
+    c.expect_monotone("scaling", [1, 3, 2])
+    c.expect_flat("weak", [1.0, 2.0], rel=0.3)
+    assert len(c.failures) == 5
+    for line in c.failures:
+        assert line.startswith("[fig08] ")
+        assert "expected" in line and "actual" in line
+    assert "±0.1 rel" in c.failures[0]
+    assert "in [1.1, 1.3]" in c.failures[1]
+    assert "margin 1.5" in c.failures[2]
+    assert "non-decreasing" in c.failures[3]
+    assert "spread <= 0.3" in c.failures[4]
 
 
 def test_expect_greater_with_margin():

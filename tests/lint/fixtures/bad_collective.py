@@ -1,0 +1,16 @@
+"""Fixture: collective-matching violations (family ``collective``)."""
+
+
+def rank_main(comm):
+    if comm.rank == 0:
+        yield from comm.allreduce(1.0)           # line 6: SL401 (subset-only)
+    if comm.rank == 0:
+        total = yield from comm.gather(comm.rank)  # clean: both branches gather
+    else:
+        total = yield from comm.gather(comm.rank)
+    if comm.rank == 0:
+        yield from comm.bcast(total)             # simlint: ignore[SL401] — fixture
+    if comm.rank != 0:
+        return None
+    yield from comm.barrier()                    # line 15: SL402 (after early return)
+    return total

@@ -1,0 +1,21 @@
+"""Fixture: nondeterminism violations (family ``nondet``)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def measure(ranks):
+    t0 = time.time()                        # line 11: SL201 (wall clock)
+    stamp = datetime.now()                  # line 12: SL201 (wall clock)
+    jitter = random.random()                # line 13: SL202 (global RNG)
+    noise = np.random.rand(4)               # line 14: SL202 (legacy global RNG)
+    order = [r for r in {1, 2, 3}]          # line 15: SL203 (set iteration)
+    for r in set(ranks):                    # line 16: SL203 (set iteration)
+        pass
+    ok_rng = np.random.default_rng(42)      # clean: explicit generator
+    ok_sorted = sorted(set(ranks))          # clean: sorted() is an order
+    allowed = time.time()                   # simlint: ignore[SL201] — host-side stamp
+    return t0, stamp, jitter, noise, order, ok_rng, ok_sorted, allowed

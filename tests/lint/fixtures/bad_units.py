@@ -1,0 +1,17 @@
+"""Fixture: unit-suffix violations (family ``units``)."""
+
+
+def combine(latency_us, window_s, payload_bytes, size_gib, model):
+    wrong_scale = latency_us + window_s          # line 5: SL301 (us vs s)
+    wrong_dim = payload_bytes + window_s         # line 6: SL301 (data vs time)
+    compared = size_gib > payload_bytes          # line 7: SL301 (gib vs bytes)
+    padded_us = latency_us + 5                   # line 8: SL302 (bare literal)
+    cfg = model(latency_s=3.5)                   # line 9: SL303 (literal to _s param)
+    cfg2 = model(latency_s=latency_us)           # line 10: SL303 (us into _s param)
+    ok_convert = latency_us * 1e-6 + window_s    # clean: conversion is a product
+    ok_same = payload_bytes + payload_bytes      # clean: same unit
+    ok_sign = latency_us > 0                     # clean: sign check
+    ok_named = model(latency_s=window_s)         # clean: matching suffix
+    allowed = latency_us + window_s              # simlint: ignore[units]
+    return (wrong_scale, wrong_dim, compared, padded_us, cfg, cfg2,
+            ok_convert, ok_same, ok_sign, ok_named, allowed)

@@ -1,0 +1,151 @@
+"""simlint behaviour: each checker catches its fixture, pragmas suppress."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(name):
+    return lint_file(FIXTURES / name)
+
+
+def by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f)
+    return out
+
+
+# -- checker 1: yield-from discipline ---------------------------------------
+
+def test_yieldfrom_fixture_rules_and_lines():
+    rules = by_rule(findings_for("bad_yieldfrom.py"))
+    assert [f.line for f in rules["SL101"]] == [7, 11]
+    assert [f.line for f in rules["SL102"]] == [8]
+    assert [f.line for f in rules["SL103"]] == [9]
+    assert [f.line for f in rules["SL104"]] == [10]
+    # the three suppressed recv assignments (13–15) and the clean lines
+    # produce nothing else
+    assert sum(len(v) for v in rules.values()) == 5
+    assert all(f.family == "yield-from" for v in rules.values() for f in v)
+
+
+def test_yieldfrom_ignores_non_generators_and_stdlib_lookalikes():
+    findings = findings_for("bad_yieldfrom.py")
+    flagged_lines = {f.line for f in findings}
+    # line.split / d.get in false_positive_guards stay silent
+    assert not flagged_lines & {26, 27}
+
+
+# -- checker 2: nondeterminism ----------------------------------------------
+
+def test_nondet_fixture_rules_and_lines():
+    rules = by_rule(findings_for("bad_nondet.py"))
+    assert [f.line for f in rules["SL201"]] == [11, 12]
+    assert [f.line for f in rules["SL202"]] == [13, 14]
+    assert [f.line for f in rules["SL203"]] == [15, 16]
+    assert sum(len(v) for v in rules.values()) == 6
+
+
+# -- checker 3: unit suffixes -------------------------------------------------
+
+def test_units_fixture_rules_and_lines():
+    rules = by_rule(findings_for("bad_units.py"))
+    assert [f.line for f in rules["SL301"]] == [5, 6, 7]
+    assert [f.line for f in rules["SL302"]] == [8]
+    assert [f.line for f in rules["SL303"]] == [9, 10]
+    assert sum(len(v) for v in rules.values()) == 6
+
+
+def test_units_spec_tables_may_hold_literals():
+    src = "spec = NICSpec(mpi_latency_us=6.3)\n"
+    assert lint_source(src, "src/repro/machine/configs.py") == []
+    assert len(lint_source(src, "src/repro/lustre/client.py")) == 1
+
+
+# -- checker 4: collective matching ------------------------------------------
+
+def test_collective_fixture_rules_and_lines():
+    rules = by_rule(findings_for("bad_collective.py"))
+    assert [f.line for f in rules["SL401"]] == [6]
+    assert [f.line for f in rules["SL402"]] == [15]
+    assert sum(len(v) for v in rules.values()) == 2
+
+
+# -- pragmas -------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "pragma",
+    ["# simlint: ignore[SL201]", "# simlint: ignore[nondet]", "# simlint: ignore"],
+)
+def test_pragma_forms_suppress(pragma):
+    src = f"import time\nt = time.time()  {pragma}\n"
+    assert lint_source(src) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    src = "import time\nt = time.time()  # simlint: ignore[SL301]\n"
+    findings = lint_source(src)
+    assert [f.rule for f in findings] == ["SL201"]
+
+
+# -- framework / CLI -----------------------------------------------------------
+
+def test_syntax_error_becomes_parse_finding():
+    findings = lint_source("def broken(:\n", "x.py")
+    assert [f.rule for f in findings] == ["SL001"]
+
+
+def test_finding_str_is_location_prefixed():
+    f = findings_for("bad_nondet.py")[0]
+    assert str(f).startswith(str(FIXTURES / "bad_nondet.py") + ":11:")
+    assert "SL201" in str(f)
+
+
+def _run_cli(*args):
+    root = Path(__file__).parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=root,
+        env=env,
+    )
+
+
+def test_cli_exits_nonzero_on_findings_and_zero_when_clean():
+    bad = _run_cli(str(FIXTURES / "bad_nondet.py"))
+    assert bad.returncode == 1
+    assert "SL201" in bad.stdout and "findings" in bad.stderr
+    clean = _run_cli("src/repro/lint")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+
+def test_cli_select_filters_rules():
+    out = _run_cli(str(FIXTURES / "bad_nondet.py"), "--select", "SL203")
+    assert out.returncode == 1
+    lines = [l for l in out.stdout.splitlines() if l.strip()]
+    assert len(lines) == 2 and all("SL203" in l for l in lines)
+
+
+def test_cli_rejects_unknown_select():
+    # A typo'd selector must be a usage error, not a silent clean pass.
+    out = _run_cli(str(FIXTURES / "bad_nondet.py"), "--select", "SL999")
+    assert out.returncode == 2
+    assert "unknown rule/family" in out.stderr and "SL999" in out.stderr
+
+
+def test_cli_list_rules():
+    out = _run_cli("--list-rules")
+    assert out.returncode == 0
+    for rule in ("SL101", "SL201", "SL301", "SL401"):
+        assert rule in out.stdout

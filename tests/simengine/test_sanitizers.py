@@ -1,0 +1,140 @@
+"""Runtime sanitizers: deadlock detection and resource conservation."""
+
+import pytest
+
+from repro.machine import xt4
+from repro.mpi import MPIJob
+from repro.simengine import (
+    Delay,
+    Resource,
+    ResourceLeakError,
+    SimDeadlockError,
+    Simulator,
+    Store,
+)
+
+
+# -- deadlock detector -------------------------------------------------------
+
+def test_blocked_store_get_is_reported():
+    sim = Simulator(sanitize=True)
+    store = Store(sim, name="mailbox")
+
+    def consumer():
+        msg = yield store.get()
+        return msg
+
+    sim.spawn(consumer(), name="consumer")
+    with pytest.raises(SimDeadlockError) as exc:
+        sim.run()
+    assert exc.value.blocked == {"consumer": "mailbox.get"}
+    assert "consumer" in str(exc.value) and "mailbox.get" in str(exc.value)
+
+
+def test_mismatched_collective_reports_blocked_ranks_and_stores():
+    """Rank 0 skips the allreduce: the sanitizer names every blocked rank
+    and what it waits on (the collective rendezvous / rank 0's inbox)."""
+
+    def main(comm):
+        if comm.rank == 0:  # simlint: ignore[collective] — deliberate bug under test
+            data = yield from comm.recv(source=1, tag=99)  # never sent
+            return data
+        total = yield from comm.allreduce(comm.rank)
+        return total
+
+    with pytest.raises(SimDeadlockError) as exc:
+        MPIJob(xt4("SN"), 8, sanitize=True).run(main)
+    blocked = exc.value.blocked
+    assert blocked["rank0"] == "inbox[0].get"
+    for rank in range(1, 8):
+        assert blocked[f"rank{rank}"] == "coll:allreduce"
+
+
+def test_unsanitized_job_keeps_generic_deadlock_error():
+    def main(comm):
+        if comm.rank == 0:  # simlint: ignore[collective] — deliberate bug under test
+            return None
+        yield from comm.barrier()  # simlint: ignore[collective]
+        return None
+
+    with pytest.raises(RuntimeError, match="job deadlocked"):
+        MPIJob(xt4("SN"), 4).run(main)
+
+
+def test_no_deadlock_error_on_clean_completion():
+    def main(comm):
+        total = yield from comm.allreduce(1.0)
+        yield from comm.barrier()
+        return total
+
+    result = MPIJob(xt4("SN"), 4, sanitize=True).run(main)
+    assert result.returns == [4.0] * 4
+
+
+def test_bounded_run_skips_the_quiescence_check():
+    """run(until=...) may drain the queue while a process legitimately
+    waits for an externally-triggered event; no deadlock is reported."""
+    sim = Simulator(sanitize=True)
+    evt = sim.event(name="external")
+
+    def waiter():
+        value = yield evt
+        return value
+
+    proc = sim.spawn(waiter(), name="waiter")
+    sim.run(until=1.0)
+    assert proc.alive
+    evt.succeed("late")
+    sim.run()
+    assert proc.done.value == "late"
+
+
+def test_waiting_on_tracks_delay_and_clears():
+    sim = Simulator(sanitize=True)
+
+    def sleeper():
+        yield Delay(2.0)
+        return "ok"
+
+    proc = sim.spawn(sleeper(), name="sleeper")
+    sim.run(until=1.0)
+    assert proc.waiting_on == "Delay(2)"
+    sim.run()
+    assert proc.waiting_on is None and proc.done.value == "ok"
+
+
+# -- resource conservation ---------------------------------------------------
+
+def test_leaked_resource_slot_is_reported():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=2, name="nic-port")
+
+    def leaker():
+        yield res.request()
+        yield Delay(1.0)
+        # missing res.release()
+
+    sim.spawn(leaker(), name="leaker")
+    with pytest.raises(ResourceLeakError, match="nic-port.*1/2"):
+        sim.run()
+
+
+def test_balanced_use_passes_and_counts_grants():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="port")
+
+    def worker():
+        yield from res.use(1.0)
+
+    sim.spawn(worker(), name="a")
+    sim.spawn(worker(), name="b")
+    sim.run()
+    assert res.in_use == 0
+    assert res.outstanding == 0
+
+
+def test_release_of_idle_resource_still_raises():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="port")
+    with pytest.raises(RuntimeError, match="idle resource"):
+        res.release()

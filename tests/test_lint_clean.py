@@ -1,0 +1,20 @@
+"""Guard: the source tree stays simlint-clean.
+
+Any finding here is either a real simulation-correctness bug (fix it) or
+a documented false positive (suppress with ``# simlint: ignore[RULE]``
+and a justification comment). See docs/LINT.md.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+SRC = Path(__file__).parents[1] / "src"
+
+
+def test_source_tree_is_simlint_clean():
+    findings = lint_paths([SRC])
+    assert not findings, (
+        f"{len(findings)} simlint finding(s) in src/:\n"
+        + "\n".join(str(f) for f in findings)
+    )
