@@ -7,13 +7,21 @@ calls"): run a CAM-physics-shaped step on the simulated MPI in SN and VN
 modes with the mpiP-style profiler, and attribute the mode difference to
 operations.
 
+Also writes a Perfetto trace of the VN run (mpi_profile_study.trace.json
+by default — open it at https://ui.perfetto.dev): the same attribution,
+but as a zoomable timeline with per-rank MPI/compute spans and the
+NIC/link/memory-controller counters.
+
 Run:  python examples/mpi_profile_study.py
 """
+
+from typing import Optional
 
 from repro.core.report import render_table
 from repro.machine import xt4
 from repro.mpi import MPIJob, profiled_job_run
 from repro.mpi.profiler import render_timeline
+from repro.obs import Tracer, write_chrome_trace
 
 
 def physics_step(comm):
@@ -28,11 +36,16 @@ def physics_step(comm):
     return comm.wtime()
 
 
-def main() -> None:
+def main(trace_out: Optional[str] = "mpi_profile_study.trace.json") -> None:
     ntasks = 16
     profiles = {}
     for mode in ("SN", "VN"):
-        job = MPIJob(xt4(mode), ntasks)
+        tracer = None
+        if mode == "VN" and trace_out:
+            tracer = Tracer(
+                meta={"example": "mpi_profile_study", "mode": mode}
+            )
+        job = MPIJob(xt4(mode), ntasks, tracer=tracer)
         result, prof = profiled_job_run(job, physics_step, trace=True)
         profiles[mode] = (result, prof[0])
         if mode == "VN":
@@ -40,6 +53,12 @@ def main() -> None:
             subset = {r: prof[r] for r in range(min(8, ntasks))}
             print(render_timeline(subset, result.elapsed_s, width=64))
             print()
+            if tracer is not None:
+                write_chrome_trace(tracer, trace_out)
+                print(
+                    f"wrote {trace_out} "
+                    "(open at https://ui.perfetto.dev)\n"
+                )
 
     rows = []
     for mode, (result, prof) in profiles.items():

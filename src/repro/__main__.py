@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run fig08 [--plot] [--logx]
+    python -m repro run fig02 --trace fig02.trace.json   # Perfetto trace
     python -m repro all [--out results/]
 """
 
@@ -17,6 +18,7 @@ from typing import List, Optional
 
 from repro.core import all_experiments, get_experiment
 from repro.core.report import render_ascii_plot, render_csv, render_result
+from repro.experiments.common import add_trace_flag, tracing_to
 
 
 def _shape_check(driver, result):
@@ -33,10 +35,26 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     driver = get_experiment(args.exp_id)
-    result = driver()
+    companion_report = None
+    with tracing_to(args.trace, exp_id=args.exp_id) as tracer:
+        result = driver()
+        if tracer is not None:
+            module = importlib.import_module(driver.__module__)
+            companion = getattr(module, "des_companion", None)
+            if companion is not None:
+                companion_report = companion()
     print(render_result(result))
     if args.plot:
         print(render_ascii_plot(result, logx=args.logx))
+    if companion_report is not None:
+        print(companion_report)
+    if args.trace:
+        if companion_report is None:
+            print(
+                f"note: {args.exp_id} is analytic (no DES companion); "
+                "the trace carries metadata only"
+            )
+        print(f"wrote {args.trace} (open at https://ui.perfetto.dev)")
     check = _shape_check(driver, result)
     print(check.summary())
     return 0 if check.passed else 1
@@ -111,6 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("exp_id", help="artifact id, e.g. fig08")
     p_run.add_argument("--plot", action="store_true", help="ASCII plot")
     p_run.add_argument("--logx", action="store_true", help="log-scale x")
+    add_trace_flag(p_run)
     p_all = sub.add_parser("all", help="run everything, write CSVs")
     p_all.add_argument("--out", default="results", help="output directory")
     p_mach = sub.add_parser("machine", help="inspect or export a machine config")

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+import argparse
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.core.experiment import ExperimentResult
 from repro.machine.configs import xt3, xt3_dc, xt4, xt3_xt4_combined
+from repro.obs import Tracer, installed, write_chrome_trace
 
 #: Processor-count sweep for the global HPCC figures (paper x-axis to ~1200).
 GLOBAL_SWEEP: Tuple[int, ...] = (128, 256, 512, 1024)
@@ -24,6 +27,40 @@ NAMD_SWEEP: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 12000)
 
 #: S3D weak-scaling core counts (paper Fig. 22, log axis 1..10000).
 S3D_SWEEP: Tuple[int, ...] = (1, 8, 64, 512, 4096, 12000)
+
+
+def add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--trace PATH`` option to a driver's parser.
+
+    Drivers pass ``args.trace`` to :func:`tracing_to`; the installed
+    tracer then reaches every :class:`~repro.simengine.Simulator` the
+    experiment (or its ``des_companion``) creates.
+    """
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto (Chrome trace-event JSON) trace of the "
+        "experiment's discrete-event companion runs to PATH",
+    )
+
+
+@contextmanager
+def tracing_to(path: Optional[str], **meta: Any) -> Iterator[Optional[Tracer]]:
+    """Install a fresh tracer for the block; write Perfetto JSON on exit.
+
+    ``meta`` (experiment id, machine, seed, ...) is embedded in the
+    trace's ``otherData``. With ``path=None`` the block runs untraced and
+    ``None`` is yielded, so drivers can pass ``args.trace`` through
+    unconditionally.
+    """
+    if path is None:
+        yield None
+        return
+    tracer = Tracer(meta=dict(meta))
+    with installed(tracer):
+        yield tracer
+    write_chrome_trace(tracer, str(path))
 
 
 def global_hpcc_series(

@@ -37,6 +37,20 @@ def run() -> ExperimentResult:
     return result
 
 
+def des_companion() -> str:
+    """Discrete-event runs behind the figure, for ``repro run --trace``.
+
+    The figure itself comes from closed-form latency models; this runs
+    the same 8-byte ping-pong on the DES MPI in both XT4 modes so a
+    ``--trace`` invocation captures real rank / NIC / link activity.
+    """
+    lines = []
+    for label, machine in (("XT4-SN", xt4("SN")), ("XT4-VN", xt4("VN"))):
+        one_way_us = PingPong(machine).run_des(nbytes=8, iters=10)
+        lines.append(f"DES ping-pong {label}: {one_way_us:.3f} us one-way")
+    return "\n".join(lines)
+
+
 def shape_checks(result: ExperimentResult) -> ShapeCheck:
     check = ShapeCheck("fig02")
     xt3_s = result.get_series("XT3")

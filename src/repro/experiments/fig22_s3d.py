@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.s3d import S3DModel
+from repro.apps.s3d.solver import MiniDNS
 from repro.core.experiment import ExperimentResult
 from repro.core.registry import register
 from repro.core.validate import ShapeCheck
@@ -31,6 +34,26 @@ def run() -> ExperimentResult:
         S3DModel(xt4("SN"), 1).weak_scaling_series(S3D_SWEEP[:4]),
     )
     return result
+
+
+def des_companion() -> str:
+    """A small S3D (MiniDNS) DES step, for ``repro run --trace``.
+
+    Runs one row-decomposed RK timestep on four XT4-VN tasks so the
+    trace carries the weak-scaling pattern's ghost exchanges, compute
+    phases and memory-controller draw.
+    """
+    dns = MiniDNS(nx=16, ny=32)
+    x = np.linspace(0, 2 * np.pi, dns.nx, endpoint=False)
+    y = np.linspace(0, 2 * np.pi, dns.ny, endpoint=False)
+    q0 = np.sin(y)[:, None] + np.cos(x)[None, :]
+    _, job = dns.run_distributed(xt4("VN"), 4, q0, dt=1e-3, nsteps=1)
+    cost_us = job.elapsed_s * 1.0e6 / (dns.nx * dns.ny)
+    return (
+        f"DES S3D step XT4-VN: 4 tasks, {dns.ny}x{dns.nx} grid, "
+        f"{job.elapsed_s * 1e3:.3f} ms elapsed "
+        f"({cost_us:.3f} us per grid point)"
+    )
 
 
 def shape_checks(result: ExperimentResult) -> ShapeCheck:

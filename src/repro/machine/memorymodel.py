@@ -107,3 +107,43 @@ class MemoryModel:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         return nbytes / (self.per_core_bandwidth_GBs(active_cores) * 1.0e9)
+
+    # -- observability -------------------------------------------------------
+    def stall_fraction(
+        self,
+        profile: WorkloadProfile,
+        peak_gflops_core: float,
+        active_cores: int,
+    ) -> float:
+        """Fraction of a kernel's wall time the core stalls on memory.
+
+        The serial-roofline split of :meth:`workload_rate_gflops`: memory
+        seconds over (compute + memory) seconds per flop. Feeds the
+        tracer's per-core stall-time counter
+        (``machine.core[rankN].stall_s``).
+        """
+        self._check_active(active_cores)
+        compute_s = 1.0 / (peak_gflops_core * profile.compute_efficiency)
+        if profile.bytes_per_flop <= 0:
+            return 0.0
+        memory_s = profile.bytes_per_flop / self.per_core_bandwidth_GBs(
+            active_cores
+        )
+        return memory_s / (compute_s + memory_s)
+
+    def traffic_rate_GBs(
+        self,
+        profile: WorkloadProfile,
+        peak_gflops_core: float,
+        active_cores: int,
+    ) -> float:
+        """Controller bandwidth one core draws while running the kernel.
+
+        Achieved flop rate × bytes-per-flop: the GB/s this core pulls
+        through the shared controller, for the tracer's
+        bandwidth-in-use counter (``machine.mem[nodeN].bw_GBs``).
+        """
+        rate = self.workload_rate_gflops(
+            profile, peak_gflops_core, active_cores
+        )
+        return rate * profile.bytes_per_flop

@@ -60,12 +60,16 @@ class Comm:
         """Charge local computation time for ``flops`` of the given kernel,
         under this rank's static memory-sharing environment."""
         dt = self.job.compute_time_s(self.rank, flops, profile)
+        if self.job.sim.tracer is not None:
+            self.job.trace_local_phase(self.rank, dt, profile=profile)
         yield Delay(dt)
         return dt
 
     def stream(self, nbytes: float):
         """Charge local streaming-memory time for ``nbytes`` of traffic."""
         dt = self.job.stream_time_s(self.rank, nbytes)
+        if self.job.sim.tracer is not None:
+            self.job.trace_local_phase(self.rank, dt)
         yield Delay(dt)
         return dt
 

@@ -61,6 +61,10 @@ class MPIJob:
         deadlock, a :class:`~repro.simengine.SimDeadlockError` names each
         blocked rank and the store/collective it waits on (instead of the
         generic "job deadlocked" error).
+    :param tracer: attach a :class:`~repro.obs.tracer.Tracer` — every
+        rank's compute/stream phases, transfers and resource contention
+        are recorded for Perfetto export (see docs/OBSERVABILITY.md).
+        Defaults to the process-wide installed tracer, i.e. off.
     :param rank_main: supplied to :meth:`run`: a generator function
         ``rank_main(comm, *args, **kwargs)`` executed by every rank.
     """
@@ -72,10 +76,11 @@ class MPIJob:
         placement: str = "contiguous",
         seed: Optional[int] = None,
         sanitize: bool = False,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.machine = machine
         self.ntasks = ntasks
-        self.sim = Simulator(sanitize=sanitize)
+        self.sim = Simulator(sanitize=sanitize, tracer=tracer)
         self.placement = Placement(machine, ntasks, strategy=placement, seed=seed)
         self.network = SimNetwork(self.sim, machine)
         self.model = NetworkModel(machine)
@@ -133,6 +138,48 @@ class MPIJob:
 
     def stream_time_s(self, rank: int, nbytes: float) -> float:
         return self.core_model.memory.bytes_time_s(nbytes, self._active_cores(rank))
+
+    # -- tracing ---------------------------------------------------------------
+    def trace_local_phase(
+        self, rank: int, dt: float, profile: Optional[str] = None
+    ) -> None:
+        """Record a local compute/stream phase of length ``dt`` starting
+        now on ``rank``'s track, with the memory-controller counters.
+
+        Emits a ``compute.<profile>`` / ``stream`` span plus, following
+        the shared-controller model (paper §2):
+
+        * ``machine.mem[nodeN].bw_GBs`` — bandwidth this phase draws
+          through the node's controller (accumulating: +rate at start,
+          −rate at end, so the counter shows the aggregate in-flight
+          draw across the node's cores);
+        * ``machine.core[rankN].stall_s`` — cumulative seconds this
+          rank's core spent stalled on memory.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        t0 = self.sim.now
+        t1 = t0 + dt
+        active = self._active_cores(rank)
+        memory = self.core_model.memory
+        peak = self.core_model.peak_gflops
+        if profile is not None:
+            prof = PROFILES[profile] if isinstance(profile, str) else profile
+            name = f"compute.{prof.name}"
+            rate_GBs = memory.traffic_rate_GBs(prof, peak, active)
+            stall_s = dt * memory.stall_fraction(prof, peak, active)
+        else:
+            name = "stream"
+            rate_GBs = memory.per_core_bandwidth_GBs(active)
+            stall_s = dt  # streaming is pure memory time
+        tracer.complete(f"rank{rank}", name, t0, t1)
+        node = self.placement.node_of(rank)
+        if rate_GBs > 0.0 and dt > 0.0:
+            tracer.add(f"machine.mem[node{node}].bw_GBs", t0, rate_GBs)
+            tracer.add(f"machine.mem[node{node}].bw_GBs", t1, -rate_GBs)
+        if stall_s > 0.0:
+            tracer.add(f"machine.core[rank{rank}].stall_s", t1, stall_s)
 
     # -- collectives -----------------------------------------------------------
     def collective_ctx(

@@ -102,6 +102,11 @@ class ProfiledComm:
         self._comm = comm
         self.profile = MPIProfile(comm.rank)
         self._trace = trace
+        #: When the job's simulator carries a tracer, every timed MPI
+        #: operation is also emitted as an ``mpi.<op>`` span on this
+        #: rank's track — so the MPI timeline lands in the same Perfetto
+        #: file as the engine/network/memory instrumentation.
+        self._tracer = comm.job.sim.tracer
         if sink is not None:
             sink[comm.rank] = self.profile
 
@@ -130,6 +135,10 @@ class ProfiledComm:
         if self._trace:
             self.profile.events.append(
                 TraceEvent(self._comm.rank, op, t0, t1, nbytes)
+            )
+        if self._tracer is not None:
+            self._tracer.complete(
+                f"rank{self._comm.rank}", f"mpi.{op}", t0, t1, bytes=nbytes
             )
         return result
 

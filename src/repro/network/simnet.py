@@ -15,11 +15,20 @@ A message transfer is a simulation process that
 
 Intra-node messages (two cores of one socket, VN mode) bypass the NIC:
 Catamount implements them as a memory copy (paper §2).
+
+When the simulator carries a :class:`~repro.obs.tracer.Tracer`, every
+transfer is recorded as a span tagged ``src``/``dst``/``bytes``, and the
+per-link / per-NIC accounting moves onto tracer counters
+(``net.link[x,y,z.+d].bytes`` / ``.busy_s``, ``net.nic[n].tx_bytes`` /
+``.rx_bytes`` / ``.busy_s``) — :meth:`SimNetwork.hotspot_report` and
+:meth:`SimNetwork.utilization` then read those counters, so the trace
+file and the in-process diagnostics can never disagree. Without a
+tracer, the original in-memory byte accounting is used.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.machine.specs import GIGA, MICRO, Machine
 from repro.network.topology import Link, Torus3D
@@ -29,6 +38,17 @@ from repro.simengine import Delay, Resource, Simulator
 INTRA_NODE_LATENCY_US = 0.8
 
 
+def link_label(link: Link) -> str:
+    """Deterministic human-readable label for a directed link.
+
+    ``((x, y, z), dim, direction)`` → ``"x,y,z.+d"`` — e.g. the +x link
+    out of node (0, 1, 0) is ``"0,1,0.+x"``. Used in tracer counter
+    names, so it must stay stable across releases.
+    """
+    (x, y, z), dim, direction = link
+    return f"{x},{y},{z}.{'+' if direction > 0 else '-'}{'xyz'[dim]}"
+
+
 class SimNetwork:
     """Message-granularity discrete-event network for a machine."""
 
@@ -36,14 +56,18 @@ class SimNetwork:
         self.sim = sim
         self.machine = machine
         self.torus = Torus3D(machine.torus_dims)
+        self._tracer = sim.tracer
         self._nic_tx: Dict[int, Resource] = {}
         self._nic_rx: Dict[int, Resource] = {}
         self._links: Dict[Link, Resource] = {}
+        #: Links seen by traced transfers (tracer mode's ranking domain).
+        self._traced_links: Dict[Link, str] = {}
         #: Count of completed transfers (diagnostics).
         self.transfers_completed = 0
-        #: Bytes carried per directed link (hotspot diagnostics).
+        #: Bytes carried per directed link (hotspot diagnostics;
+        #: byte-accounting fallback — empty when tracing is on).
         self.link_bytes: Dict[Link, float] = {}
-        #: Accumulated busy seconds per directed link.
+        #: Accumulated busy seconds per directed link (fallback, as above).
         self.link_busy_s: Dict[Link, float] = {}
 
     # -- resources (lazily created: machines have thousands of nodes) -------
@@ -74,6 +98,33 @@ class SimNetwork:
         through the shared controller: half the achievable socket rate)."""
         return self.machine.node.memory.achievable_bw_GBs / 2.0
 
+    # -- tracing ---------------------------------------------------------------
+    def _charge_link(self, ln: Link, nbytes: float, hold_s: float) -> None:
+        """Account one link's share of a completed hold, on whichever
+        backend (tracer counters or the in-memory dicts) is active."""
+        tracer = self._tracer
+        if tracer is not None:
+            label = self._traced_links.get(ln)
+            if label is None:
+                label = self._traced_links[ln] = link_label(ln)
+            now = self.sim.now
+            tracer.add(f"net.link[{label}].bytes", now, nbytes)
+            tracer.add(f"net.link[{label}].busy_s", now, hold_s)
+        else:
+            self.link_bytes[ln] = self.link_bytes.get(ln, 0.0) + nbytes
+            self.link_busy_s[ln] = self.link_busy_s.get(ln, 0.0) + hold_s
+
+    def _charge_nics(
+        self, src_node: int, dst_node: int, nbytes: float, hold_s: float
+    ) -> None:
+        tracer = self._tracer
+        now = self.sim.now
+        tracer.add(f"net.nic[{src_node}].tx_bytes", now, nbytes)
+        tracer.add(f"net.nic[{src_node}].busy_s", now, hold_s)
+        tracer.add(f"net.nic[{dst_node}].rx_bytes", now, nbytes)
+        if dst_node != src_node:
+            tracer.add(f"net.nic[{dst_node}].busy_s", now, hold_s)
+
     # -- transfers ------------------------------------------------------------
     def transfer(self, src_node: int, dst_node: int, nbytes: float, latency_s: float):
         """Process-helper: move ``nbytes`` from ``src_node`` to ``dst_node``.
@@ -85,11 +136,24 @@ class SimNetwork:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"net/node{src_node}",
+                "net.xfer",
+                self.sim.now,
+                src=src_node,
+                dst=dst_node,
+                bytes=nbytes,
+            )
         if src_node == dst_node:
             yield Delay(INTRA_NODE_LATENCY_US * MICRO)
             if nbytes:
                 yield Delay(nbytes / (self.intranode_bw_GBs() * GIGA))
             self.transfers_completed += 1
+            if span is not None:
+                tracer.end(span, self.sim.now, intra_node=True)
             return self.sim.now
 
         yield Delay(latency_s)
@@ -111,17 +175,38 @@ class SimNetwork:
                 hold = nbytes / (self.bottleneck_bw_GBs() * GIGA)
                 yield Delay(hold)
                 for ln in route:
-                    self.link_bytes[ln] = self.link_bytes.get(ln, 0.0) + nbytes
-                    self.link_busy_s[ln] = self.link_busy_s.get(ln, 0.0) + hold
+                    self._charge_link(ln, nbytes, hold)
+                if tracer is not None:
+                    self._charge_nics(src_node, dst_node, nbytes, hold)
         finally:
             for res in reversed(acquired):
                 res.release()
         self.transfers_completed += 1
+        if span is not None:
+            tracer.end(span, self.sim.now, hops=len(route))
         return self.sim.now
 
     # -- diagnostics ---------------------------------------------------------
+    def _counter_total(self, name: str) -> float:
+        counter = self._tracer.counters.get(name)
+        return counter.total if counter is not None else 0.0
+
     def hotspot_report(self, top: int = 5) -> List[Tuple[Link, float]]:
-        """The ``top`` busiest directed links by carried bytes."""
+        """The ``top`` busiest directed links by carried bytes.
+
+        Computed from tracer counters when tracing is on, from the
+        in-memory byte accounting otherwise — the two backends agree
+        exactly for identical runs.
+        """
+        if self._tracer is not None:
+            ranked = sorted(
+                (
+                    (ln, self._counter_total(f"net.link[{label}].bytes"))
+                    for ln, label in self._traced_links.items()
+                ),
+                key=lambda kv: (-kv[1], repr(kv[0])),
+            )
+            return ranked[:top]
         ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
         return ranked[:top]
 
@@ -129,4 +214,8 @@ class SimNetwork:
         """Fraction of elapsed simulated time the link was busy."""
         if self.sim.now <= 0:
             return 0.0
-        return self.link_busy_s.get(link, 0.0) / self.sim.now
+        if self._tracer is not None:
+            busy = self._counter_total(f"net.link[{link_label(link)}].busy_s")
+        else:
+            busy = self.link_busy_s.get(link, 0.0)
+        return busy / self.sim.now

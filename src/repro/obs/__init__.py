@@ -1,0 +1,56 @@
+"""Unified simulation observability: spans, counters, trace export.
+
+The paper's whole method is attribution — explaining application
+behaviour by where simulated time goes and which shared resource (memory
+controller, NIC, torus link) saturates. This package makes that data a
+first-class output of every simulation:
+
+* :class:`Tracer` — zero-dependency span + counter collection, attached
+  via ``Simulator(tracer=...)`` / ``MPIJob(..., tracer=...)`` (or
+  process-wide with :func:`install` / :func:`installed`). Off by
+  default: untraced runs pay nothing.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  `Perfetto <https://ui.perfetto.dev>`_; one track per rank, link,
+  resource and controller) and a compact JSONL format, plus the loader.
+* :mod:`repro.obs.analyze` — span self-time rankings, counter
+  statistics, link hotspots, and trace-vs-trace diffs.
+* ``repro-trace`` (:mod:`repro.obs.cli`, also ``python -m repro.obs``) —
+  the analysis front-end over exported traces.
+
+See docs/OBSERVABILITY.md for the counter naming scheme
+(``layer.object.metric``) and a Perfetto walkthrough.
+"""
+
+from repro.obs.export import (
+    TraceData,
+    dumps_chrome_trace,
+    dumps_jsonl,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    Counter,
+    Span,
+    Tracer,
+    current_tracer,
+    install,
+    installed,
+    uninstall,
+)
+
+__all__ = [
+    "Counter",
+    "Span",
+    "TraceData",
+    "Tracer",
+    "current_tracer",
+    "dumps_chrome_trace",
+    "dumps_jsonl",
+    "install",
+    "installed",
+    "load_trace",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,297 @@
+"""Trace exporters and the matching loader.
+
+Two on-disk formats, both self-describing and deterministic (a seeded
+run serializes byte-for-byte identically):
+
+* **Chrome trace-event JSON** (``.json``) — the format Perfetto and
+  ``chrome://tracing`` load directly. Each span track (rank, link,
+  resource, process) becomes one named thread; counters become ``"C"``
+  events, which Perfetto renders as their own counter tracks.
+* **Compact JSONL** (``.jsonl``) — one JSON object per line (a ``meta``
+  header, then one line per span and per counter), cheap to stream and
+  to grep.
+
+:func:`load_trace` reads either format back into a neutral
+:class:`TraceData`, which is what the ``repro-trace`` analysis CLI
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "TraceData",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "dumps_jsonl",
+    "load_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Seconds → trace-event microseconds.
+_US_PER_S = 1.0e6
+
+
+def _span_sort_key(span: Span) -> Tuple[float, float, str, str]:
+    return (span.t0, span.t1 if span.t1 is not None else span.t0,
+            span.track, span.name)
+
+
+def _category(name: str) -> str:
+    """Event category: the ``layer`` segment of a dotted span name."""
+    return name.split(".", 1)[0] if "." in name else name
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The tracer's content as a Chrome trace-event list.
+
+    One ``pid`` holds every span track (one named ``tid`` per track, in
+    sorted track order); counters ride on ``"C"`` events. Still-open
+    spans are closed at the trace's end time first.
+    """
+    tracer.close_open_spans(tracer.end_time)
+    tracks = sorted({s.track for s in tracer.spans})
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": str(tracer.meta.get("name", "repro-sim"))},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid_of[track],
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid_of[track],
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid_of[track]},
+            }
+        )
+    for span in sorted(tracer.spans, key=_span_sort_key):
+        assert span.t1 is not None  # close_open_spans ran above
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid_of[span.track],
+                "name": span.name,
+                "cat": _category(span.name),
+                "ts": span.t0 * _US_PER_S,
+                "dur": (span.t1 - span.t0) * _US_PER_S,
+                "args": span.args,
+            }
+        )
+    for cname in sorted(tracer.counters):
+        for t, value in tracer.counters[cname].series():
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": 0,
+                    "name": cname,
+                    "ts": t * _US_PER_S,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def dumps_chrome_trace(tracer: Tracer) -> str:
+    """Serialize to Chrome trace-event JSON (deterministic byte-for-byte)."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": dict(sorted(tracer.meta.items())),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write Perfetto-loadable JSON to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_chrome_trace(tracer))
+    return path
+
+
+def dumps_jsonl(tracer: Tracer) -> str:
+    """Serialize to the compact JSONL format (deterministic)."""
+    tracer.close_open_spans(tracer.end_time)
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "format": "repro-obs",
+                "version": 1,
+                "meta": dict(sorted(tracer.meta.items())),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for span in sorted(tracer.spans, key=_span_sort_key):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "track": span.track,
+                    "name": span.name,
+                    "t0": span.t0,
+                    "t1": span.t1,
+                    "args": span.args,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    for cname in sorted(tracer.counters):
+        counter = tracer.counters[cname]
+        series = counter.series()
+        lines.append(
+            json.dumps(
+                {
+                    "type": "counter",
+                    "name": cname,
+                    "mode": counter.mode,
+                    "t": [t for t, _v in series],
+                    "v": [v for _t, v in series],
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(tracer: Tracer, path: str) -> str:
+    """Write the JSONL form to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_jsonl(tracer))
+    return path
+
+
+@dataclass
+class TraceData:
+    """A loaded trace in neutral form (what the analysis CLI consumes)."""
+
+    spans: List[Span] = field(default_factory=list)
+    #: counter name → time-ordered ``[(t, value), ...]`` series.
+    counters: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_time(self) -> float:
+        """Latest timestamp across spans and counter samples (0.0 if empty)."""
+        t = 0.0
+        for span in self.spans:
+            t = max(t, span.t0 if span.t1 is None else span.t1)
+        for series in self.counters.values():
+            if series:
+                t = max(t, series[-1][0])
+        return t
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceData":
+        """In-memory view of a live tracer (no round trip through disk)."""
+        tracer.close_open_spans(tracer.end_time)
+        return cls(
+            spans=sorted(tracer.spans, key=_span_sort_key),
+            counters={
+                name: counter.series()
+                for name, counter in sorted(tracer.counters.items())
+            },
+            meta=dict(tracer.meta),
+        )
+
+
+def _load_chrome(doc: Dict[str, Any]) -> TraceData:
+    data = TraceData(meta=dict(doc.get("otherData", {})))
+    track_of: Dict[Tuple[int, int], str] = {}
+    events = doc.get("traceEvents", [])
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            track_of[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            t0 = ev["ts"] / _US_PER_S
+            data.spans.append(
+                Span(
+                    track=track_of.get(
+                        (ev["pid"], ev["tid"]), f"tid{ev['tid']}"
+                    ),
+                    name=ev["name"],
+                    t0=t0,
+                    t1=t0 + ev.get("dur", 0.0) / _US_PER_S,
+                    args=dict(ev.get("args", {})),
+                )
+            )
+        elif ph == "C":
+            data.counters.setdefault(ev["name"], []).append(
+                (ev["ts"] / _US_PER_S, float(ev["args"]["value"]))
+            )
+    data.spans.sort(key=_span_sort_key)
+    for series in data.counters.values():
+        series.sort(key=lambda tv: tv[0])
+    return data
+
+
+def _load_jsonl(lines: List[str]) -> TraceData:
+    data = TraceData()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "meta":
+            data.meta = dict(obj.get("meta", {}))
+        elif kind == "span":
+            data.spans.append(
+                Span(
+                    track=obj["track"],
+                    name=obj["name"],
+                    t0=obj["t0"],
+                    t1=obj["t1"],
+                    args=dict(obj.get("args", {})),
+                )
+            )
+        elif kind == "counter":
+            data.counters[obj["name"]] = list(zip(obj["t"], obj["v"]))
+        else:
+            raise ValueError(f"unknown JSONL record type {kind!r}")
+    data.spans.sort(key=_span_sort_key)
+    return data
+
+
+def load_trace(path: str) -> TraceData:
+    """Load a trace written by either exporter (format auto-detected)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if not text.strip():
+        raise ValueError(f"{path}: empty trace file")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # multiple lines: the JSONL format
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _load_chrome(doc)
+    return _load_jsonl(text.splitlines())

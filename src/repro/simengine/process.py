@@ -33,7 +33,8 @@ class Process:
     it and receive its return value.
     """
 
-    __slots__ = ("sim", "name", "_gen", "done", "_waiting_on")
+    __slots__ = ("sim", "name", "_gen", "done", "_waiting_on",
+                 "_life_span", "_wait_span")
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
         self.sim = sim
@@ -42,6 +43,15 @@ class Process:
         #: Event triggered with the generator's return value on completion.
         self.done: Event = Event(sim, name=f"{self.name}.done")
         self._waiting_on: Optional[str] = None
+        self._life_span = None
+        self._wait_span = None
+        tracer = sim.tracer
+        if tracer is not None:
+            # Process-lifetime span: spawn → completion (or kill).
+            self._life_span = tracer.begin(
+                f"proc/{self.name}", "proc.lifetime", sim.now
+            )
+            self.done.add_callback(self._end_life_span)
         # First step happens via the scheduler so that spawn() during a
         # callback cascade preserves deterministic ordering.
         sim._queue.push(sim.now, lambda: self._step(None))
@@ -71,10 +81,20 @@ class Process:
             return
         self._throw(ProcessKilled())
 
+    # -- tracing ----------------------------------------------------------
+    def _end_life_span(self, _event: Event) -> None:
+        self.sim.tracer.end(self._life_span, self.sim.now)
+
+    def _close_wait_span(self) -> None:
+        if self._wait_span is not None:
+            self.sim.tracer.end(self._wait_span, self.sim.now)
+            self._wait_span = None
+
     # -- stepping ---------------------------------------------------------
     def _step(self, send_value: Any) -> None:
         if not self.alive:
             return
+        self._close_wait_span()
         self._waiting_on = None
         try:
             command = self._gen.send(send_value)
@@ -89,6 +109,7 @@ class Process:
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
+        self._close_wait_span()
         self._waiting_on = None
         try:
             command = self._gen.throw(exc)
@@ -123,6 +144,15 @@ class Process:
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+        tracer = sim.tracer
+        if (
+            tracer is not None
+            and tracer.wait_spans
+            and self._waiting_on is not None
+        ):
+            self._wait_span = tracer.begin(
+                f"proc/{self.name}", f"wait:{self._waiting_on}", sim.now
             )
 
     def _resume_from_event(self, event: Event) -> None:

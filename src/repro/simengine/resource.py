@@ -38,6 +38,20 @@ class Resource:
         self._waiters: Deque[Event] = deque()
         self._grants = 0
         self._releases = 0
+        # Tracing state (unused when the simulator has no tracer): open
+        # hold spans oldest-first, and each queued waiter's acquire span.
+        self._hold_spans: Deque[Any] = deque()
+        self._acquire_spans: "dict[Event, Any]" = {}
+        self._tracer = sim.tracer
+        if self._tracer is not None:
+            ident = name or f"anon{sim._next_anon_resource()}"
+            self._track = f"res/{ident}"
+            self._ctr_queue = sim.tracer.counter(
+                f"engine.resource[{ident}].queue_depth"
+            )
+            self._ctr_in_use = sim.tracer.counter(
+                f"engine.resource[{ident}].in_use"
+            )
         sim._register_resource(self)
 
     @property
@@ -51,13 +65,37 @@ class Resource:
     def request(self) -> Event:
         """Return an event that succeeds when a slot is granted."""
         evt = self.sim.event(name=f"{self.name}.grant")
+        tracer = self._tracer
         if self._in_use < self.capacity:
             self._in_use += 1
             self._grants += 1
+            if tracer is not None:
+                self._trace_grant(waited_from=None)
             evt.succeed(self)
         else:
             self._waiters.append(evt)
+            if tracer is not None:
+                now = self.sim.now
+                self._acquire_spans[evt] = tracer.begin(
+                    self._track, "res.acquire", now
+                )
+                self._ctr_queue.record(now, len(self._waiters))
         return evt
+
+    def _trace_grant(self, waited_from) -> None:
+        """Record a slot grant: close the acquire span (if the grantee
+        queued), open its hold span, and sample occupancy."""
+        tracer = self._tracer
+        now = self.sim.now
+        if waited_from is not None:
+            acq = self._acquire_spans.pop(waited_from, None)
+            if acq is not None:
+                tracer.end(acq, now)
+            self._ctr_queue.record(now, len(self._waiters))
+        self._hold_spans.append(
+            tracer.begin(self._track, "res.hold", now)
+        )
+        self._ctr_in_use.record(now, self._in_use)
 
     def release(self) -> None:
         """Free one slot, waking the longest-waiting requester if any.
@@ -74,12 +112,21 @@ class Resource:
                 f"{self._in_use}/{self.capacity}"
             )
         self._releases += 1
+        tracer = self._tracer
+        if tracer is not None and self._hold_spans:
+            # Slots are identical, so holds retire oldest-first.
+            tracer.end(self._hold_spans.popleft(), self.sim.now)
         if self._waiters:
             # Hand the slot directly to the next waiter: in_use stays put.
             self._grants += 1
-            self._waiters.popleft().succeed(self)
+            waiter = self._waiters.popleft()
+            if tracer is not None:
+                self._trace_grant(waited_from=waiter)
+            waiter.succeed(self)
         else:
             self._in_use -= 1
+            if tracer is not None:
+                self._ctr_in_use.record(self.sim.now, self._in_use)
 
     @property
     def outstanding(self) -> int:

@@ -9,19 +9,26 @@ from repro.simengine.process import Process
 from repro.simengine.queue import EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
     from repro.simengine.resource import Resource
 
 
 class SimDeadlockError(RuntimeError):
     """Raised by a sanitizing simulator at quiescence while processes
-    remain blocked. ``blocked`` maps process name → what it waits on."""
+    remain blocked. ``blocked`` maps process name → what it waits on;
+    ``now`` is the simulated time of quiescence, so the report can be
+    located in an exported trace."""
 
-    def __init__(self, blocked: "dict[str, str]") -> None:
+    def __init__(
+        self, blocked: "dict[str, str]", now: Optional[float] = None
+    ) -> None:
         self.blocked = dict(blocked)
+        self.now = now
         lines = [f"  process {name!r} blocked on {waits}"
                  for name, waits in blocked.items()]
+        at = f" at t={now:.9g}s" if now is not None else ""
         super().__init__(
-            "deadlock: event queue empty with "
+            f"deadlock{at}: event queue empty with "
             f"{len(blocked)} process(es) still blocked:\n" + "\n".join(lines)
         )
 
@@ -58,13 +65,30 @@ class Simulator:
       the leaking resource (an acquire without a matching release).
     """
 
-    def __init__(self, sanitize: bool = False) -> None:
+    def __init__(
+        self, sanitize: bool = False, tracer: "Optional[Tracer]" = None
+    ) -> None:
         self.now: float = 0.0
         self.sanitize = bool(sanitize)
+        if tracer is None:
+            # Deferred import: repro.obs is a higher layer; pulling it in
+            # eagerly here would create an import cycle.
+            from repro.obs.tracer import current_tracer
+
+            tracer = current_tracer()
+        #: Attached :class:`~repro.obs.tracer.Tracer`, or ``None`` (the
+        #: default — untraced runs pay only ``is None`` checks).
+        self.tracer = tracer
         self._queue = EventQueue()
         self._running = False
         self._processes: List[Process] = []
         self._resources: "List[Resource]" = []
+        self._anon_resources = 0
+
+    def _next_anon_resource(self) -> int:
+        """Deterministic sequence number for unnamed traced resources."""
+        self._anon_resources += 1
+        return self._anon_resources
 
     # -- construction ------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -108,7 +132,7 @@ class Simulator:
     def _check_quiescence(self) -> None:
         blocked = self.blocked_processes()
         if blocked:
-            raise SimDeadlockError(blocked)
+            raise SimDeadlockError(blocked, now=self.now)
         leaked = [r for r in self._resources if r.in_use > 0]
         if leaked:
             detail = ", ".join(
@@ -116,7 +140,8 @@ class Simulator:
                 for r in leaked
             )
             raise ResourceLeakError(
-                f"resource slots leaked after all processes finished: {detail}"
+                f"resource slots leaked at t={self.now:.9g}s after all "
+                f"processes finished: {detail}"
             )
 
     # -- execution -----------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Analysis-layer tests: self time, counter stats, hotspots, diffs."""
+
+import pytest
+
+from repro.obs import TraceData, Tracer
+from repro.obs.analyze import (
+    counter_stats,
+    counter_summary_rows,
+    diff_counter_rows,
+    diff_span_rows,
+    link_hotspot_rows,
+    span_aggregate,
+    span_self_times,
+    span_summary_rows,
+)
+from repro.obs.tracer import Span
+
+
+def _span(track, name, t0, t1):
+    return Span(track=track, name=name, t0=t0, t1=t1)
+
+
+# ------------------------------------------------------------------ self time
+def test_self_time_subtracts_direct_children():
+    spans = [
+        _span("r0", "outer", 0.0, 10.0),
+        _span("r0", "child", 2.0, 5.0),
+        _span("r0", "grandchild", 3.0, 4.0),
+        _span("r0", "child2", 6.0, 8.0),
+    ]
+    self_of = {s.name: t for s, t in span_self_times(spans)}
+    # outer: 10 - (3 + 2) direct children; grandchild charged to child only.
+    assert self_of["outer"] == pytest.approx(5.0)
+    assert self_of["child"] == pytest.approx(2.0)
+    assert self_of["grandchild"] == pytest.approx(1.0)
+    assert self_of["child2"] == pytest.approx(2.0)
+
+
+def test_self_time_tracks_are_independent():
+    spans = [
+        _span("a", "x", 0.0, 4.0),
+        _span("b", "y", 1.0, 3.0),  # overlaps x but on another track
+    ]
+    self_of = {s.name: t for s, t in span_self_times(spans)}
+    assert self_of == {"x": pytest.approx(4.0), "y": pytest.approx(2.0)}
+
+
+def test_self_time_sequential_spans_do_not_nest():
+    spans = [
+        _span("r", "a", 0.0, 1.0),
+        _span("r", "b", 1.0, 2.0),  # starts exactly when a ends
+    ]
+    self_of = {s.name: t for s, t in span_self_times(spans)}
+    assert self_of["a"] == pytest.approx(1.0)
+    assert self_of["b"] == pytest.approx(1.0)
+
+
+def test_span_aggregate_and_rows():
+    spans = [
+        _span("r", "op", 0.0, 2.0),
+        _span("r", "op", 3.0, 4.0),
+    ]
+    agg = span_aggregate(spans)
+    assert agg["op"]["count"] == 2
+    assert agg["op"]["total_s"] == pytest.approx(3.0)
+    assert agg["op"]["max_s"] == pytest.approx(2.0)
+    rows = span_summary_rows(TraceData(spans=spans), top=1)
+    assert rows[0]["span"] == "op" and rows[0]["count"] == 2
+
+
+# ------------------------------------------------------------------ counters
+def test_counter_stats_p99_and_mean():
+    series = [(float(i), float(i)) for i in range(100)]  # values 0..99
+    s = counter_stats(series)
+    assert s["n"] == 100
+    assert s["min"] == 0.0 and s["max"] == 99.0
+    assert s["mean"] == pytest.approx(49.5)
+    assert s["p99"] == 98.0  # ceil(0.99*100)-1 = index 98
+    assert s["last"] == 99.0
+    assert counter_stats([])["n"] == 0
+
+
+def test_counter_summary_prefix_filter():
+    trace = TraceData(counters={
+        "net.link[a].bytes": [(0.0, 1.0)],
+        "machine.core[rank0].stall_s": [(0.0, 2.0)],
+    })
+    rows = counter_summary_rows(trace, prefix="net.")
+    assert [r["counter"] for r in rows] == ["net.link[a].bytes"]
+
+
+# ------------------------------------------------------------------ hotspots
+def test_link_hotspot_rows_rank_and_utilization():
+    trace = TraceData(counters={
+        "net.link[0,0,0.+x].bytes": [(1.0, 100.0), (2.0, 300.0)],
+        "net.link[0,0,0.+x].busy_s": [(2.0, 1.0)],
+        "net.link[1,0,0.+y].bytes": [(1.0, 500.0)],
+        "net.nic[0].tx_bytes": [(1.0, 9999.0)],  # not a link: excluded
+    })
+    rows = link_hotspot_rows(trace, top=5)
+    assert [r["link"] for r in rows] == ["1,0,0.+y", "0,0,0.+x"]
+    # end_time = 2.0s, busy 1.0s -> 50% utilization.
+    assert rows[1]["util_%"] == pytest.approx(50.0)
+
+
+# ------------------------------------------------------------------ diffs
+def test_diff_rows_sorted_by_absolute_delta():
+    a = TraceData(spans=[_span("r", "allreduce", 0.0, 1.0),
+                         _span("r", "send", 2.0, 2.1)])
+    b = TraceData(spans=[_span("r", "allreduce", 0.0, 3.0),
+                         _span("r", "send", 4.0, 4.2)])
+    rows = diff_span_rows(a, b)
+    assert rows[0]["span"] == "allreduce"
+    assert rows[0]["delta_ms"] == pytest.approx(2000.0)
+    assert rows[0]["b/a"] == pytest.approx(3.0)
+    assert rows[1]["span"] == "send"
+
+    ca = TraceData(counters={"c": [(0.0, 1.0)]})
+    cb = TraceData(counters={"c": [(0.0, 5.0)], "d": [(0.0, 2.0)]})
+    crows = diff_counter_rows(ca, cb)
+    assert crows[0]["counter"] == "c" and crows[0]["delta"] == pytest.approx(4.0)
+    assert crows[1]["counter"] == "d" and crows[1]["a_last"] == 0.0
+
+
+def test_diff_span_missing_on_one_side():
+    a = TraceData(spans=[_span("r", "only_a", 0.0, 1.0)])
+    b = TraceData(spans=[])
+    rows = diff_span_rows(a, b)
+    assert rows[0]["span"] == "only_a"
+    assert rows[0]["b_ms"] == 0.0 and rows[0]["delta_ms"] == pytest.approx(-1000.0)

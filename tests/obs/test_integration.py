@@ -1,0 +1,123 @@
+"""Cross-layer integration: tracer data agrees with the other profilers.
+
+The acceptance bar for the observability work: a traced run's per-op MPI
+span totals must match the mpiP-style :class:`ProfiledComm` aggregates,
+and the engine/memory instrumentation must carry physically sensible
+values.
+"""
+
+import math
+
+import pytest
+
+from repro.machine.configs import PROFILES, xt4
+from repro.mpi.job import MPIJob
+from repro.mpi.profiler import profiled_job_run
+from repro.obs import Tracer
+from repro.simengine import Resource, Simulator
+
+
+def _physics_main(comm):
+    for _ in range(2):
+        yield from comm.compute(5.0e7, profile="dgemm")
+        yield from comm.stream(1.0e6)
+        yield from comm.allreduce(1.0)
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        yield from comm.sendrecv(b"x" * 4096, dest=right, source=left, tag=0)
+    yield from comm.barrier()
+    return comm.wtime()
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    job = MPIJob(xt4("VN"), 8, tracer=tracer)
+    result, profiles = profiled_job_run(job, _physics_main)
+    return tracer, job, result, profiles
+
+
+def test_mpi_span_totals_match_profiledcomm(traced_run):
+    tracer, _job, _result, profiles = traced_run
+    # Tracer side: per-(rank, op) span totals.
+    totals = {}
+    for span in tracer.spans:
+        if span.name.startswith("mpi.") and span.track.startswith("rank"):
+            key = (int(span.track[4:]), span.name[4:])
+            totals[key] = totals.get(key, 0.0) + span.duration_s
+    assert totals, "no mpi.* spans recorded"
+    # Profiler side: OpStats (isend/irecv are counted but not timed).
+    for rank, prof in profiles.items():
+        for op, stats in prof.ops.items():
+            if op in ("isend", "irecv"):
+                continue
+            assert math.isclose(
+                totals.get((rank, op), 0.0), stats.time_s, rel_tol=1e-12,
+                abs_tol=1e-18,
+            ), f"rank {rank} op {op}"
+
+
+def test_compute_and_stream_spans_on_rank_tracks(traced_run):
+    tracer, job, _result, _profiles = traced_run
+    names = {s.name for s in tracer.spans if s.track == "rank0"}
+    assert "compute.dgemm" in names
+    assert "stream" in names
+    compute = [s for s in tracer.spans
+               if s.track == "rank0" and s.name == "compute.dgemm"]
+    expected = job.compute_time_s(0, 5.0e7, "dgemm")
+    assert compute[0].duration_s == pytest.approx(expected, rel=1e-12)
+
+
+def test_memory_counters_are_physical(traced_run):
+    tracer, job, result, _profiles = traced_run
+    stall = tracer.counters.get("machine.core[rank0].stall_s")
+    assert stall is not None
+    # Cumulative stall time is positive and bounded by the run length.
+    assert 0.0 < stall.total <= result.elapsed_s
+    mem = [c for n, c in tracer.counters.items()
+           if n.startswith("machine.mem[")]
+    assert mem, "no memory-controller counters"
+    for counter in mem:
+        series = counter.series()
+        # Accumulating +rate/-rate pairs: starts and ends at zero draw.
+        assert series[-1][1] == pytest.approx(0.0, abs=1e-9)
+        peak = max(v for _t, v in series)
+        assert 0.0 < peak <= job.machine.node.memory.achievable_bw_GBs * 1.001
+
+
+def test_stall_fraction_orders_profiles_by_memory_intensity():
+    from repro.machine.processor import CoreModel
+
+    core = CoreModel(xt4("VN"))
+    f_dgemm = core.memory.stall_fraction(PROFILES["dgemm"], core.peak_gflops, 2)
+    f_fft = core.memory.stall_fraction(PROFILES["fft"], core.peak_gflops, 2)
+    assert 0.0 <= f_dgemm < 1.0
+    # FFT moves 100x the bytes per flop: it must stall far more than DGEMM.
+    assert f_fft > f_dgemm
+
+
+def test_resource_queue_counters_track_contention():
+    tracer = Tracer()
+    sim = Simulator(tracer=tracer)
+    res = Resource(sim, 1, name="gate")
+
+    def user(hold):
+        yield res.request()
+        try:
+            from repro.simengine import Delay
+
+            yield Delay(hold)
+        finally:
+            res.release()
+
+    for i in range(3):
+        sim.spawn(user(1.0), name=f"u{i}")
+    sim.run()
+    depth = tracer.counters["engine.resource[gate].queue_depth"].series()
+    assert max(v for _t, v in depth) == 2.0  # two waiters behind the holder
+    holds = [s for s in tracer.spans if s.name == "res.hold"]
+    acquires = [s for s in tracer.spans if s.name == "res.acquire"]
+    assert len(holds) == 3 and len(acquires) == 2
+    assert sum(s.duration_s for s in holds) == pytest.approx(3.0)
+    # The last waiter queued at t=0 and was granted at t=2.
+    assert max(s.duration_s for s in acquires) == pytest.approx(2.0)

@@ -29,6 +29,21 @@ def test_blocked_store_get_is_reported():
         sim.run()
     assert exc.value.blocked == {"consumer": "mailbox.get"}
     assert "consumer" in str(exc.value) and "mailbox.get" in str(exc.value)
+    assert "at t=0" in str(exc.value)  # simulated time of the deadlock
+
+
+def test_deadlock_error_reports_simulated_time():
+    sim = Simulator(sanitize=True)
+    store = Store(sim, name="mailbox")
+
+    def consumer():
+        yield Delay(2.5)
+        msg = yield store.get()
+        return msg
+
+    sim.spawn(consumer(), name="consumer")
+    with pytest.raises(SimDeadlockError, match="at t=2.5s"):
+        sim.run()
 
 
 def test_mismatched_collective_reports_blocked_ranks_and_stores():
@@ -115,7 +130,7 @@ def test_leaked_resource_slot_is_reported():
         # missing res.release()
 
     sim.spawn(leaker(), name="leaker")
-    with pytest.raises(ResourceLeakError, match="nic-port.*1/2"):
+    with pytest.raises(ResourceLeakError, match=r"at t=1s.*nic-port.*1/2"):
         sim.run()
 
 

@@ -22,11 +22,15 @@ def _load(path: pathlib.Path):
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(path, capsys):
+def test_example_runs(path, capsys, tmp_path):
     mod = _load(path)
     if path.stem == "lustre_io_study":
         mod.stripe_sweep()
         mod.client_sweep()
+    elif path.stem == "mpi_profile_study":
+        trace = tmp_path / "trace.json"
+        mod.main(trace_out=str(trace))
+        assert trace.exists() and trace.stat().st_size > 1000
     else:
         mod.main()
     out = capsys.readouterr().out

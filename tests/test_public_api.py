@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.machine",
     "repro.mpi",
     "repro.network",
+    "repro.obs",
     "repro.simengine",
 ]
 
