@@ -18,7 +18,12 @@ from typing import List, Optional
 
 from repro.core import all_experiments, get_experiment
 from repro.core.report import render_ascii_plot, render_csv, render_result
-from repro.experiments.common import add_trace_flag, tracing_to
+from repro.experiments.common import (
+    add_faults_flag,
+    add_trace_flag,
+    faults_from,
+    tracing_to,
+)
 
 
 def _shape_check(driver, result):
@@ -36,7 +41,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     driver = get_experiment(args.exp_id)
     companion_report = None
-    with tracing_to(args.trace, exp_id=args.exp_id) as tracer:
+    with faults_from(args.faults), \
+            tracing_to(args.trace, exp_id=args.exp_id) as tracer:
         result = driver()
         if tracer is not None:
             module = importlib.import_module(driver.__module__)
@@ -130,6 +136,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--plot", action="store_true", help="ASCII plot")
     p_run.add_argument("--logx", action="store_true", help="log-scale x")
     add_trace_flag(p_run)
+    add_faults_flag(p_run)
     p_all = sub.add_parser("all", help="run everything, write CSVs")
     p_all.add_argument("--out", default="results", help="output directory")
     p_mach = sub.add_parser("machine", help="inspect or export a machine config")

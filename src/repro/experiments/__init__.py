@@ -35,4 +35,5 @@ from repro.experiments import (  # noqa: F401
     fig01_lustre,
     ext_multicore,
     ext_balance,
+    ext_resilience,
 )

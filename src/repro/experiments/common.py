@@ -45,6 +45,40 @@ def add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--faults PLAN.json`` option to a parser.
+
+    Drivers pass ``args.faults`` to :func:`faults_from`; the installed
+    :class:`~repro.faults.FaultPlan` then reaches every
+    :class:`~repro.mpi.job.MPIJob` the experiment (or its
+    ``des_companion``) creates that does not name its own plan.
+    """
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="inject faults from a JSON fault plan (see docs/RESILIENCE.md; "
+        "author one with `python -m repro.faults sample`)",
+    )
+
+
+@contextmanager
+def faults_from(path: Optional[str]) -> Iterator[Optional[Any]]:
+    """Install the fault plan at ``path`` for the duration of the block.
+
+    With ``path=None`` the block runs fault-free and ``None`` is yielded,
+    so drivers can pass ``args.faults`` through unconditionally.
+    """
+    if path is None:
+        yield None
+        return
+    from repro.faults import FaultPlan, installed_plan
+
+    plan = FaultPlan.load(str(path))
+    with installed_plan(plan):
+        yield plan
+
+
 @contextmanager
 def tracing_to(path: Optional[str], **meta: Any) -> Iterator[Optional[Tracer]]:
     """Install a fresh tracer for the block; write Perfetto JSON on exit.

@@ -1,0 +1,183 @@
+"""Extension study: checkpoint/restart resilience vs Daly's optimum.
+
+At the petascale size the paper targets, component failures become
+routine: the machine's MTBF shrinks inversely with its part count, so a
+capability job must checkpoint — and the checkpoint interval is a
+first-order performance knob. This study runs a fixed compute/sendrecv
+workload under seeded node-crash plans (:mod:`repro.faults`) with
+coordinated checkpoint/restart recovery, sweeping system MTBF × interval,
+and validates the simulated optimum against Daly's first-order formula
+``I* = sqrt(2 C M) − C`` (:func:`repro.faults.daly_optimal_interval_s`).
+
+Each curve plots total overhead (checkpoints + lost work + restarts, as
+a % of the fault-free solve time) against ``interval / I*``, so theory
+says every curve should bottom out near x = 1.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import register
+from repro.core.validate import ShapeCheck
+from repro.faults import FaultPlan, FaultPolicy, daly_optimal_interval_s
+from repro.machine.configs import xt4
+from repro.mpi import MPIJob
+
+NTASKS = 2
+ITERS = 120
+#: Swept checkpoint intervals, as multiples of the Daly optimum I*.
+RATIOS = (0.3, 0.6, 1.0, 1.8, 3.2, 6.0)
+#: System MTBFs as fractions of the fault-free solve time (an "unreliable"
+#: and a "very unreliable" machine; both >> checkpoint cost).
+MTBF_FRACTIONS = (1 / 4, 1 / 12)
+#: Crash-plan seeds averaged per grid point.
+SEEDS = tuple(range(1, 7))
+
+
+def _workload(comm, iters=ITERS):
+    """Compute + neighbour exchange loop (the usual mini-app skeleton)."""
+    acc = 0.0
+    for i in range(iters):
+        yield from comm.compute(flops=2.0e7, profile="fft")
+        peer = comm.rank ^ 1
+        acc += yield from comm.sendrecv(float(i), dest=peer, source=peer)
+    total = yield from comm.allreduce(acc, op="sum")
+    return total
+
+
+def _run_once(plan: FaultPlan, policy) -> float:
+    job = MPIJob(xt4("SN"), ntasks=NTASKS, faults=plan, fault_policy=policy)
+    return job.run(_workload).elapsed_s
+
+
+@lru_cache(maxsize=1)
+def _sweep() -> Tuple[float, float, float, Tuple[Tuple[float, List[float]], ...]]:
+    """(T_solve, C, R, ((mtbf_s, overhead_pct per ratio), ...)) — cached so
+    the reproduce and render passes do not re-simulate."""
+    # Fault-free baseline; the explicit empty plan shields the run from
+    # any process-globally installed plan (repro run --faults).
+    t_solve = _run_once(FaultPlan([]), None)
+    ckpt_cost = t_solve / 200.0
+    restart_cost = t_solve / 100.0
+    curves = []
+    for frac in MTBF_FRACTIONS:
+        mtbf = t_solve * frac
+        i_star = daly_optimal_interval_s(ckpt_cost, mtbf)
+        overheads = []
+        for ratio in RATIOS:
+            policy = FaultPolicy(
+                checkpoint_interval_s=ratio * i_star,
+                checkpoint_cost_s=ckpt_cost,
+                restart_cost_s=restart_cost,
+                max_restarts=10_000,
+            )
+            total = 0.0
+            for seed in SEEDS:
+                plan = FaultPlan.sample(
+                    horizon_s=4.0 * t_solve,
+                    num_nodes=NTASKS,
+                    node_mtbf_s=mtbf * NTASKS,  # aggregate rate = 1/mtbf
+                    seed=seed,
+                )
+                total += _run_once(plan, policy)
+            mean = total / len(SEEDS)
+            overheads.append(100.0 * (mean - t_solve) / t_solve)
+        curves.append((mtbf, overheads))
+    return t_solve, ckpt_cost, restart_cost, tuple(curves)
+
+
+@register("ext_resilience")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_resilience",
+        title="Extension: checkpoint interval vs Daly optimum under node crashes",
+        xlabel="checkpoint interval / Daly optimum I*",
+        ylabel="resilience overhead (% of fault-free solve time)",
+    )
+    t_solve, ckpt_cost, restart_cost, curves = _sweep()
+    for (mtbf, overheads), frac in zip(curves, MTBF_FRACTIONS):
+        label = f"MTBF = T/{round(1 / frac)}"
+        result.add(label, list(RATIOS), overheads)
+    result.notes = (
+        f"XT4-SN, {NTASKS} ranks, {ITERS} compute+sendrecv iterations; "
+        f"fault-free solve T = {t_solve:.4g}s, checkpoint cost C = T/200, "
+        f"restart cost R = T/100; node crashes sampled from exponential "
+        f"MTBF over {len(SEEDS)} seeds per point. Daly: I* = sqrt(2CM) - C."
+    )
+    return result
+
+
+def des_companion() -> str:
+    """One traced faulted run, for ``repro run ext_resilience --trace``.
+
+    Uses the installed ``--faults`` plan when one is given, else samples
+    a crash plan; either way the trace shows fault instants, checkpoint
+    freezes and restart stalls on the ``faults``/``job`` tracks.
+    """
+    from repro.faults import current_plan
+
+    t_solve = _run_once(FaultPlan([]), None)
+    plan = current_plan()
+    if plan is None or not len(plan):
+        plan = FaultPlan.sample(
+            horizon_s=4.0 * t_solve,
+            num_nodes=NTASKS,
+            node_mtbf_s=t_solve * NTASKS / 4.0,
+            seed=SEEDS[0],
+        )
+    policy = FaultPolicy(
+        checkpoint_interval_s=daly_optimal_interval_s(
+            t_solve / 200.0, t_solve / 4.0
+        ),
+        checkpoint_cost_s=t_solve / 200.0,
+        restart_cost_s=t_solve / 100.0,
+        max_restarts=10_000,
+    )
+    job = MPIJob(xt4("SN"), ntasks=NTASKS, faults=plan, fault_policy=policy)
+    res = job.run(_workload)
+    return (
+        f"DES resilience run: fault-free T = {t_solve:.4g}s, faulted "
+        f"elapsed = {res.elapsed_s:.4g}s ({res.faults_injected} fault(s) "
+        f"injected, {res.restarts} restart(s), {res.checkpoints} "
+        f"checkpoint(s), {res.net_retransmits} retransmit(s))"
+    )
+
+
+def shape_checks(result: ExperimentResult) -> ShapeCheck:
+    check = ShapeCheck("ext_resilience")
+    for frac in MTBF_FRACTIONS:
+        label = f"MTBF = T/{round(1 / frac)}"
+        s = result.get_series(label)
+        best = min(s.y)
+        at_star = s.value_at(1.0)
+        check.expect(
+            f"{label}: overhead positive everywhere",
+            all(v > 0 for v in s.y),
+            f"{[round(v, 2) for v in s.y]}",
+        )
+        check.expect(
+            f"{label}: Daly interval near-optimal (within 15% of best)",
+            at_star <= best * 1.15,
+            f"overhead at I* = {at_star:.2f}%, grid best = {best:.2f}%",
+        )
+        check.expect(
+            f"{label}: U-shape — too-frequent checkpointing costs more",
+            s.y[0] > at_star,
+            f"at {RATIOS[0]}I* = {s.y[0]:.2f}%, at I* = {at_star:.2f}%",
+        )
+        check.expect(
+            f"{label}: U-shape — too-rare checkpointing costs more",
+            s.y[-1] > at_star,
+            f"at {RATIOS[-1]}I* = {s.y[-1]:.2f}%, at I* = {at_star:.2f}%",
+        )
+    frequent = result.get_series(f"MTBF = T/{round(1 / MTBF_FRACTIONS[1])}")
+    rare = result.get_series(f"MTBF = T/{round(1 / MTBF_FRACTIONS[0])}")
+    check.expect(
+        "less reliable machine pays more at its optimum",
+        frequent.value_at(1.0) > rare.value_at(1.0),
+        f"T/12: {frequent.value_at(1.0):.2f}% vs T/4: {rare.value_at(1.0):.2f}%",
+    )
+    return check

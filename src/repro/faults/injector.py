@@ -1,0 +1,129 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a live sim.
+
+The injector schedules one cancellable simulator callback per plan event
+(plus link-restoration callbacks for finite outages). Every injection
+bumps the ``faults.injected`` tracer counter and drops a zero-duration
+``fault.<kind>`` instant on the ``faults`` track, so exported traces show
+exactly when and where the machine was perturbed.
+
+Node crashes are delegated to an ``on_node_crash(node)`` callback when
+one is given (an :class:`~repro.mpi.job.MPIJob` passes its recovery
+hook); without a callback the crash is modeled at the network level by
+permanently failing the node's outgoing links.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.state import NodeFaultState
+
+from repro.network.simnet import SimNetwork
+from repro.simengine import Simulator
+
+
+class FaultInjector:
+    """Arms a plan's events on a simulator and dispatches them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        plan: FaultPlan,
+        *,
+        on_node_crash: Optional[Callable[[int], None]] = None,
+        node_states: Optional[Dict[int, NodeFaultState]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self.on_node_crash = on_node_crash
+        #: Shared per-node degradation registry (the owning job reads it).
+        self.node_states: Dict[int, NodeFaultState] = (
+            node_states if node_states is not None else {}
+        )
+        self._handles: List[Any] = []
+        self.injected = 0
+
+    def state(self, node: int) -> NodeFaultState:
+        st = self.node_states.get(node)
+        if st is None:
+            st = self.node_states[node] = NodeFaultState()
+        return st
+
+    # -- lifecycle ---------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every not-yet-past plan event as a simulator callback."""
+        for ev in self.plan:
+            delay = ev.t_s - self.sim.now
+            if delay < 0:
+                continue
+            self._handles.append(
+                self.sim.schedule(delay, lambda ev=ev: self._fire(ev))
+            )
+
+    def cancel_pending(self) -> None:
+        """Cancel all not-yet-fired injections (and pending restorations).
+
+        Called when the observed job completes, so leftover fault events
+        cannot keep the simulation clock running past the job's end.
+        """
+        for h in self._handles:
+            self.sim.cancel(h)
+        self._handles.clear()
+
+    # -- dispatch ----------------------------------------------------------
+    def _fire(self, ev: FaultEvent) -> None:
+        self.injected += 1
+        now = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.add("faults.injected", now, 1)
+            args = {"kind": ev.kind}
+            if ev.node is not None:
+                args["node"] = ev.node
+            if ev.link is not None:
+                args["link"] = repr(ev.link)
+            if ev.duration_s:
+                args["duration_s"] = ev.duration_s
+            tracer.instant("faults", f"fault.{ev.kind}", now, **args)
+        getattr(self, f"_inject_{ev.kind}")(ev)
+
+    def _inject_link_down(self, ev: FaultEvent) -> None:
+        self.network.fail_link(ev.link)
+        if ev.duration_s:
+            self._handles.append(self.sim.schedule(
+                ev.duration_s, lambda: self.network.restore_link(ev.link)
+            ))
+
+    def _inject_nic_stall(self, ev: FaultEvent) -> None:
+        self.network.stall_nic(ev.node, self.sim.now + ev.duration_s)
+
+    def _inject_mem_throttle(self, ev: FaultEvent) -> None:
+        self.state(ev.node).throttle_memory(
+            ev.factor, self.sim.now + ev.duration_s
+        )
+
+    def _inject_os_noise(self, ev: FaultEvent) -> None:
+        self.state(ev.node).add_noise(ev.factor, self.sim.now + ev.duration_s)
+
+    def _inject_node_crash(self, ev: FaultEvent) -> None:
+        st = self.state(ev.node)
+        if st.crashed:
+            return  # a node only dies once
+        if self.on_node_crash is not None:
+            # The job decides: abort, or rewind to checkpoint and degrade.
+            self.on_node_crash(ev.node)
+            return
+        # No job attached: model the crash as the node falling off the
+        # network — all its outgoing links fail permanently.
+        st.crashed = True
+        torus = self.network.torus
+        c = torus.coord(ev.node)
+        for d in range(3):
+            if torus.dims[d] == 1:
+                continue
+            directions = (1,) if torus.dims[d] == 2 else (1, -1)
+            for direction in directions:
+                self.network.fail_link((c, d, direction))

@@ -1,0 +1,68 @@
+"""Checkpoint/restart recovery policy and Daly's optimal-interval formula."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How an :class:`~repro.mpi.job.MPIJob` survives node crashes.
+
+    The job takes a coordinated checkpoint every ``checkpoint_interval_s``
+    of simulated time, each costing ``checkpoint_cost_s`` (a global
+    stop-the-world pause — every rank stalls). On a node crash the job
+    rewinds to its last durable checkpoint: work since that checkpoint is
+    lost and redone, plus a ``restart_cost_s`` outage for relaunch and
+    checkpoint reload. After ``max_restarts`` crashes the job aborts.
+
+    ``degrade_factor`` (≥ 1) permanently dilates work on the crashed
+    node's ranks after recovery — graceful degradation onto surviving
+    nodes instead of a same-size replacement.
+    """
+
+    checkpoint_interval_s: float
+    checkpoint_cost_s: float
+    restart_cost_s: float
+    max_restarts: int = 16
+    degrade_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval_s <= 0:
+            raise ValueError(
+                f"checkpoint_interval_s must be > 0, got {self.checkpoint_interval_s!r}"
+            )
+        if self.checkpoint_cost_s < 0:
+            raise ValueError(
+                f"checkpoint_cost_s must be >= 0, got {self.checkpoint_cost_s!r}"
+            )
+        if self.restart_cost_s < 0:
+            raise ValueError(
+                f"restart_cost_s must be >= 0, got {self.restart_cost_s!r}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts!r}"
+            )
+        if self.degrade_factor < 1.0:
+            raise ValueError(
+                f"degrade_factor must be >= 1, got {self.degrade_factor!r}"
+            )
+
+
+def daly_optimal_interval_s(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Daly's first-order optimal checkpoint interval.
+
+    For checkpoint cost ``C`` and system MTBF ``M`` (with ``C << M``),
+    the compute interval between checkpoints that minimises expected
+    wall-clock is approximately ``sqrt(2 C M) - C`` (J. T. Daly, *A
+    higher order estimate of the optimum checkpoint interval for restart
+    dumps*, FGCS 2006). Used by ``ext_resilience`` to validate the
+    simulated optimum against theory.
+    """
+    if checkpoint_cost_s < 0:
+        raise ValueError(f"checkpoint_cost_s must be >= 0, got {checkpoint_cost_s!r}")
+    if mtbf_s <= 0:
+        raise ValueError(f"mtbf_s must be > 0, got {mtbf_s!r}")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s) - checkpoint_cost_s

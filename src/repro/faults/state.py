@@ -1,0 +1,64 @@
+"""Per-node degradation state applied by the injector, read by jobs."""
+
+from __future__ import annotations
+
+
+class NodeFaultState:
+    """Time-dependent slowdown multipliers for one node.
+
+    A job models a fault's performance effect by *dilating* the durations
+    of work executed on the node: compute/stream times are multiplied by
+    :meth:`compute_dilation` / :meth:`memory_dilation` at the moment the
+    work is issued. Windows are half-open ``[start, until_s)`` in
+    simulated time; ``degrade_factor`` is permanent (e.g. a job squeezed
+    onto surviving nodes after a crash).
+    """
+
+    __slots__ = (
+        "mem_factor", "mem_until_s",
+        "noise_factor", "noise_until_s",
+        "degrade_factor", "crashed",
+    )
+
+    def __init__(self) -> None:
+        self.mem_factor = 1.0
+        self.mem_until_s = 0.0
+        self.noise_factor = 1.0
+        self.noise_until_s = 0.0
+        self.degrade_factor = 1.0
+        self.crashed = False
+
+    def throttle_memory(self, factor: float, until_s: float) -> None:
+        self.mem_factor = max(1.0, float(factor))
+        self.mem_until_s = float(until_s)
+
+    def add_noise(self, factor: float, until_s: float) -> None:
+        self.noise_factor = max(1.0, float(factor))
+        self.noise_until_s = float(until_s)
+
+    def compute_dilation(self, now: float) -> float:
+        """Multiplier for compute-bound work issued at time ``now``."""
+        f = self.degrade_factor
+        if now < self.noise_until_s:
+            f *= self.noise_factor
+        return f
+
+    def memory_dilation(self, now: float) -> float:
+        """Multiplier for memory-bound work issued at time ``now``.
+
+        OS noise perturbs memory-bound phases too (the cores still drive
+        the traffic), so both windows apply.
+        """
+        f = self.degrade_factor
+        if now < self.noise_until_s:
+            f *= self.noise_factor
+        if now < self.mem_until_s:
+            f *= self.mem_factor
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<NodeFaultState mem={self.mem_factor}x<{self.mem_until_s:.9g} "
+            f"noise={self.noise_factor}x<{self.noise_until_s:.9g} "
+            f"degrade={self.degrade_factor}x crashed={self.crashed}>"
+        )

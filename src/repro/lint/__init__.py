@@ -14,7 +14,10 @@ the conventions the simulator's correctness rests on:
   ``_flops`` suffix convention is dimensionally consistent
   (:mod:`repro.lint.check_units`);
 * ``collective`` — collectives are not guarded by rank-dependent
-  conditionals (:mod:`repro.lint.check_collectives`).
+  conditionals (:mod:`repro.lint.check_collectives`);
+* ``resource-safety`` — resource grants are released in a ``finally`` so
+  an interrupted process cannot leak slots
+  (:mod:`repro.lint.check_resource_safety`).
 
 Run it as ``python -m repro.lint [paths]`` (or the ``repro-lint`` console
 script); suppress a deliberate violation with ``# simlint: ignore[RULE]``
@@ -34,6 +37,7 @@ from repro.lint.core import (
 # Importing the checker modules registers them with the framework.
 from repro.lint import check_collectives  # noqa: F401  (registration)
 from repro.lint import check_determinism  # noqa: F401
+from repro.lint import check_resource_safety  # noqa: F401
 from repro.lint import check_units  # noqa: F401
 from repro.lint import check_yieldfrom  # noqa: F401
 

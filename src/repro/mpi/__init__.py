@@ -28,7 +28,7 @@ Example::
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm
 from repro.mpi.costmodels import CollectiveCostModel
 from repro.mpi.datatypes import payload_nbytes, reduce_values
-from repro.mpi.job import JobResult, MPIJob
+from repro.mpi.job import JobFailedError, JobResult, MPIJob
 from repro.mpi.profiler import MPIProfile, ProfiledComm, profiled_job_run
 from repro.mpi.request import Request
 from repro.mpi.subcomm import SubComm
@@ -38,6 +38,7 @@ __all__ = [
     "ANY_TAG",
     "CollectiveCostModel",
     "Comm",
+    "JobFailedError",
     "JobResult",
     "MPIJob",
     "MPIProfile",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults import FaultInjector, FaultPlan, FaultPolicy, current_plan
 from repro.machine.configs import PROFILES
 from repro.machine.processor import CoreModel
 from repro.machine.specs import Machine
@@ -13,11 +14,16 @@ from repro.mpi.costmodels import CollectiveCostModel
 from repro.network.mapping import Placement
 from repro.network.model import NetworkModel
 from repro.network.simnet import SimNetwork
-from repro.simengine import Simulator
+from repro.simengine import Process, Simulator
 
 #: Window within which a node's other task counts as "actively messaging"
 #: for the VN NIC-interrupt contention term (covers ping-pong alternation).
 _ACTIVITY_WINDOW_S = 20.0e-6
+
+
+class JobFailedError(RuntimeError):
+    """The job was aborted by an unrecoverable fault (node crash without a
+    recovery policy, or ``max_restarts`` exhausted)."""
 
 
 @dataclass
@@ -30,6 +36,11 @@ class JobResult:
     elapsed_s: float
     rank_times: List[float]
     returns: List[Any]
+    #: Resilience accounting (all zero for fault-free, policy-free runs).
+    faults_injected: int = 0
+    restarts: int = 0
+    checkpoints: int = 0
+    net_retransmits: int = 0
 
     @property
     def max_rank_time_s(self) -> float:
@@ -65,6 +76,15 @@ class MPIJob:
         rank's compute/stream phases, transfers and resource contention
         are recorded for Perfetto export (see docs/OBSERVABILITY.md).
         Defaults to the process-wide installed tracer, i.e. off.
+    :param faults: a :class:`~repro.faults.FaultPlan` to inject during the
+        run. Defaults to the process-wide installed plan (``--faults``
+        CLI), i.e. off; pass an empty plan to force a fault-free run even
+        when one is installed. With no plan the job takes exactly the
+        pre-fault-subsystem code paths (bit-identical results).
+    :param fault_policy: a :class:`~repro.faults.FaultPolicy` enabling
+        coordinated checkpoint/restart recovery (see docs/RESILIENCE.md).
+        Without one, any node crash aborts the job with
+        :class:`JobFailedError`.
     :param rank_main: supplied to :meth:`run`: a generator function
         ``rank_main(comm, *args, **kwargs)`` executed by every rank.
     """
@@ -77,6 +97,8 @@ class MPIJob:
         seed: Optional[int] = None,
         sanitize: bool = False,
         tracer: Optional[Any] = None,
+        faults: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         self.machine = machine
         self.ntasks = ntasks
@@ -89,6 +111,29 @@ class MPIJob:
         self.comms: List[Comm] = [Comm(self, r) for r in range(ntasks)]
         self._coll: Dict[Tuple[Any, int, str], _CollCtx] = {}
         self._node_last_tx: Dict[int, float] = {}
+        # -- resilience state (inert unless a plan/policy is supplied) -----
+        if faults is None:
+            faults = current_plan()
+        self.fault_policy = fault_policy
+        self._injector: Optional[FaultInjector] = None
+        if faults is not None and len(faults):
+            self.network.enable_faults()
+            self._injector = FaultInjector(
+                self.sim, self.network, faults,
+                on_node_crash=self._on_node_crash,
+            )
+        self._rank_procs: List[Process] = []
+        self._job_done = False
+        self._abort_reason: Optional[str] = None
+        self._ckpt_handle: Optional[Any] = None
+        self._restarts = 0
+        self._checkpoints = 0
+        #: Simulated time of the last durable checkpoint (job start = 0).
+        self._last_durable_t = 0.0
+        #: Stall seconds (restart outages) accumulated since that
+        #: checkpoint — subtracted from the lost-work window on a crash so
+        #: consecutive crashes never double-count redone work.
+        self._stalled_since_durable = 0.0
 
     # -- latency / contention ------------------------------------------------
     def message_latency_s(self, src_rank: int, dst_rank: int) -> float:
@@ -134,10 +179,22 @@ class MPIJob:
 
     def compute_time_s(self, rank: int, flops: float, profile: str) -> float:
         prof = PROFILES[profile] if isinstance(profile, str) else profile
-        return self.core_model.time_s(flops, prof, self._active_cores(rank))
+        t = self.core_model.time_s(flops, prof, self._active_cores(rank))
+        return t * self._dilation(rank, memory=False) if self._injector else t
 
     def stream_time_s(self, rank: int, nbytes: float) -> float:
-        return self.core_model.memory.bytes_time_s(nbytes, self._active_cores(rank))
+        t = self.core_model.memory.bytes_time_s(nbytes, self._active_cores(rank))
+        return t * self._dilation(rank, memory=True) if self._injector else t
+
+    def _dilation(self, rank: int, memory: bool) -> float:
+        """Fault-induced slowdown multiplier for work issued now on
+        ``rank``'s node (memory throttles, OS noise, post-crash
+        degradation). 1.0 whenever the node is untouched."""
+        st = self._injector.node_states.get(self.placement.node_of(rank))
+        if st is None:
+            return 1.0
+        now = self.sim.now
+        return st.memory_dilation(now) if memory else st.compute_dilation(now)
 
     # -- tracing ---------------------------------------------------------------
     def trace_local_phase(
@@ -203,6 +260,96 @@ class MPIJob:
             raise RuntimeError("collective group size mismatch")
         return ctx
 
+    # -- resilience ------------------------------------------------------------
+    def _checkpoint_tick(self) -> None:
+        """Take one coordinated checkpoint, then schedule the next.
+
+        The checkpoint is a global stop-the-world pause: every pending
+        event (rank delays, in-flight transfers, armed faults) is
+        postponed by the checkpoint cost via
+        :meth:`~repro.simengine.Simulator.freeze`. The next tick is
+        scheduled *after* the freeze so the cadence is
+        ``interval + cost`` in wall-clock, ``interval`` in compute time.
+        """
+        if self._job_done:
+            return
+        pol = self.fault_policy
+        t = self.sim.now
+        self.sim.freeze(pol.checkpoint_cost_s)
+        self._checkpoints += 1
+        self._last_durable_t = t + pol.checkpoint_cost_s
+        self._stalled_since_durable = 0.0
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.add("job.checkpoints", t, 1)
+            tracer.complete(
+                "job", "job.checkpoint", t, t + pol.checkpoint_cost_s
+            )
+        self._ckpt_handle = self.sim.schedule(
+            pol.checkpoint_cost_s + pol.checkpoint_interval_s,
+            self._checkpoint_tick,
+        )
+
+    def _on_node_crash(self, node: int) -> None:
+        """Fault-injector hook: a node hosting this job died.
+
+        With a :class:`~repro.faults.FaultPolicy`, the job rewinds to its
+        last durable checkpoint: the work done since then is lost and —
+        under the deterministic-replay assumption that redone work takes
+        the same simulated time — re-executing it is modeled as a global
+        stall of ``lost + restart_cost_s`` seconds
+        (:meth:`~repro.simengine.Simulator.freeze`). Without a policy the
+        job aborts.
+        """
+        if self._job_done:
+            return
+        pol = self.fault_policy
+        t = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("job", "job.node_crash", t, node=node)
+        if pol is None:
+            self._abort(f"node {node} crashed and the job has no recovery policy")
+            return
+        if self._restarts >= pol.max_restarts:
+            self._abort(
+                f"node {node} crashed after max_restarts={pol.max_restarts} "
+                "recoveries were already spent"
+            )
+            return
+        self._restarts += 1
+        lost = max(0.0, t - self._last_durable_t - self._stalled_since_durable)
+        stall = lost + pol.restart_cost_s
+        self.sim.freeze(stall)
+        self._stalled_since_durable += stall
+        if pol.degrade_factor > 1.0 and self._injector is not None:
+            # Graceful degradation: the dead node's share of work now runs
+            # slower on the survivors, modeled as a permanent dilation of
+            # the ranks placed on it.
+            self._injector.state(node).degrade_factor *= pol.degrade_factor
+        if tracer is not None:
+            tracer.add("job.restarts", t, 1)
+            tracer.add("job.lost_work_s", t, lost)
+            tracer.complete("job", "job.restart", t, t + stall,
+                            node=node, lost_s=lost)
+
+    def _abort(self, reason: str) -> None:
+        """Kill the job: interrupt every live rank and stop injecting."""
+        self._job_done = True
+        self._abort_reason = reason
+        self._finish_cleanup()
+        for proc in self._rank_procs:
+            proc.interrupt(reason)
+
+    def _finish_cleanup(self) -> None:
+        """Cancel pending fault injections and checkpoint ticks so they
+        cannot keep the clock running past the job's end."""
+        if self._injector is not None:
+            self._injector.cancel_pending()
+        if self._ckpt_handle is not None:
+            self.sim.cancel(self._ckpt_handle)
+            self._ckpt_handle = None
+
     # -- execution -------------------------------------------------------------
     def run(
         self,
@@ -216,6 +363,9 @@ class MPIJob:
         Returns a :class:`JobResult` with per-rank completion times (from
         simulated t=0) and return values. ``max_events`` (0 = unlimited)
         aborts runaway rank programs after that many simulation events.
+
+        :raises JobFailedError: a node crash was unrecoverable (no
+            :class:`~repro.faults.FaultPolicy`, or restarts exhausted).
         """
         finish: List[float] = [0.0] * self.ntasks
         returns: List[Any] = [None] * self.ntasks
@@ -226,16 +376,30 @@ class MPIJob:
             finish[rank] = self.sim.now
             returns[rank] = result
             done[rank] = True
+            if all(done):
+                self._job_done = True
+                self._finish_cleanup()
 
-        for r in range(self.ntasks):
+        self._rank_procs = [
             self.sim.spawn(wrapper(r), name=f"rank{r}")
+            for r in range(self.ntasks)
+        ]
+        if self._injector is not None:
+            self._injector.arm()
+        if self.fault_policy is not None:
+            self._ckpt_handle = self.sim.schedule(
+                self.fault_policy.checkpoint_interval_s, self._checkpoint_tick
+            )
         self.sim.run(max_events=max_events)
+        if self._abort_reason is not None:
+            raise JobFailedError(f"job failed: {self._abort_reason}")
         if not all(done):
             stuck = [r for r, d in enumerate(done) if not d]
             raise RuntimeError(
                 f"job deadlocked: ranks {stuck[:8]}{'...' if len(stuck) > 8 else ''} "
                 "never completed (unmatched recv or collective?)"
             )
+        net_faults = self.network.faults
         return JobResult(
             machine=self.machine.name,
             mode=str(self.machine.mode),
@@ -243,4 +407,12 @@ class MPIJob:
             elapsed_s=max(finish),
             rank_times=finish,
             returns=returns,
+            faults_injected=(
+                self._injector.injected if self._injector is not None else 0
+            ),
+            restarts=self._restarts,
+            checkpoints=self._checkpoints,
+            net_retransmits=(
+                net_faults.retransmits if net_faults is not None else 0
+            ),
         )

@@ -28,14 +28,64 @@ tracer, the original in-memory byte accounting is used.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.machine.specs import GIGA, MICRO, Machine
 from repro.network.topology import Link, Torus3D
-from repro.simengine import Delay, Resource, Simulator
+from repro.simengine import (
+    Delay,
+    Resource,
+    RetryExhausted,
+    SimTimeout,
+    Simulator,
+    retry,
+)
 
 #: CAL: latency of the Catamount intra-socket memory-copy message path.
 INTRA_NODE_LATENCY_US = 0.8
+
+
+class NetworkUnreachableError(RuntimeError):
+    """A transfer exhausted its retransmissions without finding a route."""
+
+
+class NetworkFaultState:
+    """Mutable fault state of a :class:`SimNetwork` (off unless enabled).
+
+    Tracks which directed links are down and until when each node's NIC
+    is stalled, plus the retransmission discipline transfers fall back to
+    when their dimension-order route crosses a failed link:
+
+    * wait ``retry_timeout_s`` (doubling each retransmission) and try
+      again — the link may have been restored meanwhile;
+    * if ``detour`` is on, also try the long way around the failed ring
+      (:meth:`~repro.network.topology.Torus3D.route_avoiding`);
+    * after ``max_retries`` attempts, raise :class:`NetworkUnreachableError`.
+
+    All counts are plain integers so diagnostics work without a tracer.
+    """
+
+    def __init__(
+        self,
+        retry_timeout_s: float = 50e-6,
+        backoff_factor: float = 2.0,
+        max_retries: int = 6,
+        detour: bool = True,
+    ) -> None:
+        if retry_timeout_s <= 0:
+            raise ValueError(f"retry_timeout_s must be > 0, got {retry_timeout_s!r}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries!r}")
+        self.retry_timeout_s = float(retry_timeout_s)
+        self.backoff_factor = float(backoff_factor)
+        self.max_retries = int(max_retries)
+        self.detour = bool(detour)
+        self.failed_links: Set[Link] = set()
+        #: Node → simulated time until which its NIC accepts no traffic.
+        self.nic_stalled_until: Dict[int, float] = {}
+        self.retransmits = 0
+        self.reroutes = 0
+        self.nic_stall_waits = 0
 
 
 def link_label(link: Link) -> str:
@@ -69,6 +119,38 @@ class SimNetwork:
         self.link_bytes: Dict[Link, float] = {}
         #: Accumulated busy seconds per directed link (fallback, as above).
         self.link_busy_s: Dict[Link, float] = {}
+        #: Fault state; ``None`` (the default) keeps every fault check off
+        #: the transfer fast path, so fault-free runs are bit-identical to
+        #: builds without this subsystem.
+        self.faults: Optional[NetworkFaultState] = None
+
+    # -- faults ---------------------------------------------------------------
+    def enable_faults(self, **kwargs) -> NetworkFaultState:
+        """Attach (or return the existing) :class:`NetworkFaultState`."""
+        if self.faults is None:
+            self.faults = NetworkFaultState(**kwargs)
+        return self.faults
+
+    def fail_link(self, link: Link) -> None:
+        """Mark a directed link down; in-flight holds finish, new routes
+        retransmit/detour around it."""
+        self.enable_faults().failed_links.add(link)
+        if self._tracer is not None:
+            self._tracer.add("net.links_down", self.sim.now, 1)
+
+    def restore_link(self, link: Link) -> None:
+        """Bring a failed link back into service."""
+        if self.faults is not None:
+            self.faults.failed_links.discard(link)
+            if self._tracer is not None:
+                self._tracer.add("net.links_down", self.sim.now, -1)
+
+    def stall_nic(self, node: int, until_s: float) -> None:
+        """Stall ``node``'s NIC: transfers touching it wait until ``until_s``."""
+        faults = self.enable_faults()
+        faults.nic_stalled_until[node] = max(
+            faults.nic_stalled_until.get(node, 0.0), float(until_s)
+        )
 
     # -- resources (lazily created: machines have thousands of nodes) -------
     def nic_tx(self, node: int) -> Resource:
@@ -157,7 +239,10 @@ class SimNetwork:
             return self.sim.now
 
         yield Delay(latency_s)
-        route = self.torus.route(src_node, dst_node)
+        if self.faults is None:
+            route = self.torus.route(src_node, dst_node)
+        else:
+            route = yield from self._resolve_route(src_node, dst_node)
         resources: List[Tuple[tuple, Resource]] = [
             (("nic_tx", src_node), self.nic_tx(src_node)),
             (("nic_rx", dst_node), self.nic_rx(dst_node)),
@@ -186,6 +271,62 @@ class SimNetwork:
             tracer.end(span, self.sim.now, hops=len(route))
         return self.sim.now
 
+    def _resolve_route(self, src_node: int, dst_node: int):
+        """Process-helper: find a usable route under the active fault state.
+
+        Waits out endpoint NIC stalls, then runs the SeaStar-style
+        retransmission loop: try the dimension-order route; on a failed
+        link, optionally detour the long way around the ring, else back
+        off ``retry_timeout_s`` (doubling) and retransmit.
+        """
+        faults = self.faults
+        tracer = self._tracer
+        for node in (src_node, dst_node):
+            until = faults.nic_stalled_until.get(node, 0.0)
+            if until > self.sim.now:
+                faults.nic_stall_waits += 1
+                if tracer is not None:
+                    tracer.add("net.nic_stall_waits", self.sim.now, 1)
+                yield Delay(until - self.sim.now)
+
+        def attempt(_i: int):
+            route = self.torus.route(src_node, dst_node)
+            bad = next(
+                (ln for ln in route if ln in faults.failed_links), None
+            )
+            if bad is None:
+                return route
+            if faults.detour:
+                detour = self.torus.route_avoiding(
+                    src_node, dst_node, faults.failed_links
+                )
+                if detour is not None:
+                    faults.reroutes += 1
+                    if tracer is not None:
+                        tracer.add("net.reroutes", self.sim.now, 1)
+                    return detour
+            faults.retransmits += 1
+            if tracer is not None:
+                tracer.add("net.retransmits", self.sim.now, 1)
+            raise SimTimeout(
+                faults.retry_timeout_s,
+                f"route {src_node}->{dst_node} ({link_label(bad)} down)",
+            )
+
+        try:
+            route = yield from retry(
+                attempt,
+                attempts=faults.max_retries,
+                base_backoff_s=faults.retry_timeout_s,
+                backoff_factor=faults.backoff_factor,
+            )
+        except RetryExhausted as exc:
+            raise NetworkUnreachableError(
+                f"transfer {src_node}->{dst_node} undeliverable after "
+                f"{faults.max_retries} retransmission(s)"
+            ) from exc
+        return route
+
     # -- diagnostics ---------------------------------------------------------
     def _counter_total(self, name: str) -> float:
         counter = self._tracer.counters.get(name)
@@ -207,7 +348,9 @@ class SimNetwork:
                 key=lambda kv: (-kv[1], repr(kv[0])),
             )
             return ranked[:top]
-        ranked = sorted(self.link_bytes.items(), key=lambda kv: -kv[1])
+        ranked = sorted(
+            self.link_bytes.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
         return ranked[:top]
 
     def utilization(self, link: Link) -> float:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 Coord = Tuple[int, int, int]
 #: A directed link: (source coordinate, dimension 0..2, direction ±1).
@@ -105,6 +105,48 @@ class Torus3D:
             for _ in range(steps):
                 links.append(((cur[0], cur[1], cur[2]), d, direction))
                 cur[d] = (cur[d] + direction) % self.dims[d]
+        assert tuple(cur) == dst
+        return links
+
+    def _ring_links(
+        self, cur: List[int], d: int, direction: int, steps: int
+    ) -> List[Link]:
+        """Links for ``steps`` hops along dimension ``d``; advances ``cur``."""
+        links: List[Link] = []
+        for _ in range(steps):
+            links.append(((cur[0], cur[1], cur[2]), d, direction))
+            cur[d] = (cur[d] + direction) % self.dims[d]
+        return links
+
+    def route_avoiding(self, a: int, b: int, blocked) -> Optional[List[Link]]:
+        """Dimension-order route from a to b avoiding ``blocked`` links.
+
+        Per dimension, if the preferred (shorter-way) ring segment crosses
+        a blocked link, the route detours the long way around that ring
+        instead — the static escape path a SeaStar-style router can fall
+        back to when a link is marked down. Returns ``None`` when both
+        directions of some dimension are blocked (destination unreachable
+        under dimension-order routing).
+        """
+        if a == b:
+            return []
+        cur = list(self.coord(a))
+        dst = self.coord(b)
+        links: List[Link] = []
+        for d in range(3):
+            steps, direction = self._ring_step(cur[d], dst[d], self.dims[d])
+            if steps == 0:
+                continue
+            trial = self._ring_links(list(cur), d, direction, steps)
+            if any(link in blocked for link in trial):
+                alt_steps = self.dims[d] - steps
+                if alt_steps == 0:
+                    return None
+                trial = self._ring_links(list(cur), d, -direction, alt_steps)
+                if any(link in blocked for link in trial):
+                    return None
+            links.extend(trial)
+            cur[d] = dst[d]
         assert tuple(cur) == dst
         return links
 

@@ -180,6 +180,11 @@ class Tracer:
         span = self.begin(track, name, t0, **args)
         return self.end(span, t1)
 
+    def instant(self, track: str, name: str, t: float, **args: Any) -> Span:
+        """Record a zero-duration marker at time ``t`` (e.g. a fault
+        injection). Exported like any other complete span."""
+        return self.complete(track, name, float(t), float(t), **args)
+
     @contextmanager
     def span(self, track: str, name: str, clock, **args: Any) -> Iterator[Span]:
         """Context manager spanning the enclosed block.

@@ -25,6 +25,12 @@ from repro.simengine.simulator import (
     SimDeadlockError,
     Simulator,
 )
+from repro.simengine.timeout import (
+    RetryExhausted,
+    SimTimeout,
+    retry,
+    with_timeout,
+)
 
 __all__ = [
     "AllOf",
@@ -37,9 +43,13 @@ __all__ = [
     "ProcessKilled",
     "Resource",
     "ResourceLeakError",
+    "RetryExhausted",
     "SimDeadlockError",
+    "SimTimeout",
     "Simulator",
     "Store",
     "fork",
+    "retry",
     "seeded_rng",
+    "with_timeout",
 ]

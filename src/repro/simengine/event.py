@@ -17,7 +17,8 @@ class Event:
     current simulation time), which makes rendezvous code race-free.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_failure", "name")
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_failure",
+                 "name", "_abandoned", "_abandon_cb")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -26,6 +27,8 @@ class Event:
         self._triggered = False
         self._value: Any = None
         self._failure: Optional[BaseException] = None
+        self._abandoned = False
+        self._abandon_cb: Optional[Callable[["Event"], None]] = None
 
     # -- state ----------------------------------------------------------
     @property
@@ -45,6 +48,11 @@ class Event:
     @property
     def failure(self) -> Optional[BaseException]:
         return self._failure
+
+    @property
+    def abandoned(self) -> bool:
+        """Whether the waiter gave up on this event (see :meth:`abandon`)."""
+        return self._abandoned
 
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -68,6 +76,31 @@ class Event:
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
         for cb in callbacks:
+            cb(self)
+
+    # -- abandonment ----------------------------------------------------
+    def on_abandon(self, cb: Callable[["Event"], None]) -> None:
+        """Register a hook run if the waiter abandons this pending event.
+
+        Producers that queue state per waiter (a :class:`Resource` grant,
+        a :class:`Store` getter) use the hook to drop their bookkeeping,
+        so an interrupted process never receives a slot or a message it
+        can no longer consume.
+        """
+        self._abandon_cb = cb
+
+    def abandon(self) -> None:
+        """Declare that nothing will ever consume this event.
+
+        Called when the waiting process is interrupted or killed, or when
+        a timeout race is lost. No-op on already-triggered (or already
+        abandoned) events.
+        """
+        if self._triggered or self._abandoned:
+            return
+        self._abandoned = True
+        cb, self._abandon_cb = self._abandon_cb, None
+        if cb is not None:
             cb(self)
 
     # -- waiting --------------------------------------------------------

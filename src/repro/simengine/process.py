@@ -34,7 +34,8 @@ class Process:
     """
 
     __slots__ = ("sim", "name", "_gen", "done", "_waiting_on",
-                 "_life_span", "_wait_span")
+                 "_life_span", "_wait_span", "_epoch", "_waiting_event",
+                 "_wait_handle")
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
         self.sim = sim
@@ -45,6 +46,19 @@ class Process:
         self._waiting_on: Optional[str] = None
         self._life_span = None
         self._wait_span = None
+        # Resumption epoch: every resume/throw bumps it, and every pending
+        # wakeup carries the epoch it was armed under. A wakeup whose epoch
+        # is stale (the process was interrupted and moved on) is dropped,
+        # so an old Delay or event grant can never double-resume a process.
+        self._epoch = 0
+        #: The single Event currently suspending this process (None when
+        #: waiting on a Delay / combinator or when runnable). Used to
+        #: abandon the wait when an interrupt diverts the process.
+        self._waiting_event: Optional[Event] = None
+        #: Pending queue entry of a Delay / reschedule wait, cancelled if
+        #: an interrupt diverts the process (so a dead sleep does not keep
+        #: the simulation clock running).
+        self._wait_handle = None
         tracer = sim.tracer
         if tracer is not None:
             # Process-lifetime span: spawn → completion (or kill).
@@ -94,6 +108,8 @@ class Process:
     def _step(self, send_value: Any) -> None:
         if not self.alive:
             return
+        self._epoch += 1
+        self._waiting_event = None
         self._close_wait_span()
         self._waiting_on = None
         try:
@@ -109,6 +125,16 @@ class Process:
     def _throw(self, exc: BaseException) -> None:
         if not self.alive:
             return
+        self._epoch += 1
+        handle, self._wait_handle = self._wait_handle, None
+        if handle is not None:
+            self.sim._queue.cancel(handle)
+        waited, self._waiting_event = self._waiting_event, None
+        if waited is not None:
+            # The process is diverted away from this wait: tell the
+            # producer (a resource's grant queue, a store's getter list)
+            # that nothing will ever consume the event.
+            waited.abandon()
         self._close_wait_span()
         self._waiting_on = None
         try:
@@ -123,24 +149,32 @@ class Process:
 
     def _handle(self, command: Any) -> None:
         sim = self.sim
+        epoch = self._epoch
         if isinstance(command, Delay):
             self._waiting_on = f"Delay({command.dt:g})"
-            sim._queue.push(sim.now + command.dt, lambda: self._step(None))
+            self._wait_handle = sim._queue.push(
+                sim.now + command.dt, lambda: self._resume(epoch, None)
+            )
         elif isinstance(command, Event):
             self._waiting_on = command.name or "<anonymous event>"
-            command.add_callback(self._resume_from_event)
+            self._waiting_event = command
+            command.add_callback(lambda e: self._resume_from_event(epoch, e))
         elif isinstance(command, Process):
             self._waiting_on = f"process {command.name!r}"
-            command.done.add_callback(self._resume_from_event)
+            command.done.add_callback(
+                lambda e: self._resume_from_event(epoch, e)
+            )
         elif isinstance(command, AllOf):
             self._waiting_on = _combinator_desc("AllOf", command.events)
-            self._wait_all(command)
+            self._wait_all(command, epoch)
         elif isinstance(command, AnyOf):
             self._waiting_on = _combinator_desc("AnyOf", command.events)
-            self._wait_any(command)
+            self._wait_any(command, epoch)
         elif command is None:
             # ``yield`` with no argument: cooperative reschedule "now".
-            sim._queue.push(sim.now, lambda: self._step(None))
+            self._wait_handle = sim._queue.push(
+                sim.now, lambda: self._resume(epoch, None)
+            )
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported command {command!r}"
@@ -149,28 +183,37 @@ class Process:
         if (
             tracer is not None
             and tracer.wait_spans
+            and epoch == self._epoch
             and self._waiting_on is not None
         ):
             self._wait_span = tracer.begin(
                 f"proc/{self.name}", f"wait:{self._waiting_on}", sim.now
             )
 
-    def _resume_from_event(self, event: Event) -> None:
+    def _resume(self, epoch: int, value: Any) -> None:
+        self._wait_handle = None  # this entry just fired
+        if epoch != self._epoch:
+            return  # stale wakeup: the process was interrupted meanwhile
+        self._step(value)
+
+    def _resume_from_event(self, epoch: int, event: Event) -> None:
+        if epoch != self._epoch:
+            return  # stale wakeup: the process was interrupted meanwhile
         if event.failed:
             self._throw(event.failure)  # type: ignore[arg-type]
         else:
             self._step(event.value)
 
-    def _wait_all(self, barrier: AllOf) -> None:
+    def _wait_all(self, barrier: AllOf, epoch: int) -> None:
         events = [e.done if isinstance(e, Process) else e for e in barrier.events]
         if not events:
-            self.sim._queue.push(self.sim.now, lambda: self._step([]))
+            self.sim._queue.push(self.sim.now, lambda: self._resume(epoch, []))
             return
         remaining = {"n": len(events)}
 
         def on_trigger(_evt: Event) -> None:
             remaining["n"] -= 1
-            if remaining["n"] == 0:
+            if remaining["n"] == 0 and epoch == self._epoch:
                 failures = [e.failure for e in events if e.failed]
                 if failures:
                     self._throw(failures[0])  # type: ignore[arg-type]
@@ -180,12 +223,12 @@ class Process:
         for evt in events:
             evt.add_callback(on_trigger)
 
-    def _wait_any(self, race: AnyOf) -> None:
+    def _wait_any(self, race: AnyOf, epoch: int) -> None:
         events = [e.done if isinstance(e, Process) else e for e in race.events]
         fired = {"done": False}
 
         def on_trigger(evt: Event) -> None:
-            if fired["done"]:
+            if fired["done"] or epoch != self._epoch:
                 return
             fired["done"] = True
             if evt.failed:

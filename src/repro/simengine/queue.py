@@ -65,6 +65,19 @@ class EventQueue:
         self._live -= 1
         return entry.time, entry.callback
 
+    def shift_all(self, delta: float) -> None:
+        """Postpone every pending entry by ``delta`` seconds.
+
+        A uniform shift preserves both the heap invariant and the FIFO
+        tie-breaking sequence numbers, so no re-heapify is needed. Used by
+        :meth:`~repro.simengine.simulator.Simulator.freeze` to model a
+        global machine pause (coordinated checkpoint, crash recovery).
+        """
+        if delta == 0.0:
+            return
+        for entry in self._heap:
+            entry.time += delta
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

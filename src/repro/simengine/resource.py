@@ -63,8 +63,14 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> Event:
-        """Return an event that succeeds when a slot is granted."""
+        """Return an event that succeeds when a slot is granted.
+
+        If the requester is interrupted while still queued, the grant is
+        withdrawn automatically (via the event's abandon hook), so a slot
+        is never handed to a process that can no longer consume it.
+        """
         evt = self.sim.event(name=f"{self.name}.grant")
+        evt.on_abandon(self._abandon_waiter)
         tracer = self._tracer
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -81,6 +87,20 @@ class Resource:
                 )
                 self._ctr_queue.record(now, len(self._waiters))
         return evt
+
+    def _abandon_waiter(self, evt: Event) -> None:
+        """Drop a queued requester whose process was interrupted."""
+        try:
+            self._waiters.remove(evt)
+        except ValueError:  # pragma: no cover - defensive
+            return
+        tracer = self._tracer
+        if tracer is not None:
+            now = self.sim.now
+            acq = self._acquire_spans.pop(evt, None)
+            if acq is not None:
+                tracer.end(acq, now)
+            self._ctr_queue.record(now, len(self._waiters))
 
     def _trace_grant(self, waited_from) -> None:
         """Record a slot grant: close the acquire span (if the grantee
@@ -140,11 +160,15 @@ class Resource:
         """
         from repro.simengine.event import Delay
 
-        yield self.request()
+        grant = self.request()
         try:
+            yield grant
             yield Delay(hold_time)
         finally:
-            self.release()
+            # Only release if the slot was actually granted: an interrupt
+            # that lands while still queued abandons the request instead.
+            if grant.triggered:
+                self.release()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -180,8 +204,14 @@ class Store:
         self._items.append(item)
 
     def get(self, match: Optional[Callable[[Any], bool]] = None) -> Event:
-        """Return an event yielding the first matching item."""
+        """Return an event yielding the first matching item.
+
+        If the getter's process is interrupted while waiting, the pending
+        get is withdrawn (via the event's abandon hook) so a later ``put``
+        cannot hand an item to a process that will never consume it.
+        """
         evt = self.sim.event(name=f"{self.name}.get")
+        evt.on_abandon(self._abandon_getter)
         for idx, item in enumerate(self._items):
             if match is None or match(item):
                 del self._items[idx]
@@ -189,6 +219,13 @@ class Store:
                 return evt
         self._getters.append((evt, match))
         return evt
+
+    def _abandon_getter(self, evt: Event) -> None:
+        """Drop a waiting getter whose process was interrupted."""
+        for idx, (pending, _match) in enumerate(self._getters):
+            if pending is evt:
+                del self._getters[idx]
+                return
 
     def peek_all(self) -> list:
         """Snapshot of queued items (for diagnostics/tests)."""

@@ -111,6 +111,25 @@ class Simulator:
         self.schedule(delay, lambda: evt.succeed(value))
         return evt
 
+    def cancel(self, handle: Any) -> None:
+        """Cancel a pending callback scheduled with :meth:`schedule`."""
+        self._queue.cancel(handle)
+
+    def freeze(self, duration: float) -> None:
+        """Pause the whole machine for ``duration`` simulated seconds.
+
+        Every pending event is postponed by ``duration``; the clock itself
+        advances when the next (shifted) event fires. This models global
+        stop-the-world episodes — a coordinated checkpoint, or the
+        rollback-and-redo window after a node crash — without touching any
+        individual process. Callbacks scheduled *after* the freeze are not
+        shifted.
+        """
+        if duration < 0:
+            raise ValueError(f"negative freeze duration {duration!r}")
+        if duration:
+            self._queue.shift_all(float(duration))
+
     # -- sanitizer registries ----------------------------------------------
     def _register_process(self, proc: Process) -> None:
         if self.sanitize:

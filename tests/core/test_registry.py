@@ -13,7 +13,7 @@ PAPER_IDS = {
     "fig22", "fig23",
 }
 
-EXTENSION_IDS = {"ext_multicore", "ext_balance"}
+EXTENSION_IDS = {"ext_multicore", "ext_balance", "ext_resilience"}
 
 
 def test_every_paper_artifact_is_registered():

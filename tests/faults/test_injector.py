@@ -1,0 +1,188 @@
+"""FaultInjector + fault-aware SimNetwork: retransmit, detour, stalls."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.machine import xt4
+from repro.network import NetworkModel, SimNetwork
+from repro.network.simnet import NetworkUnreachableError
+from repro.simengine import Simulator
+
+#: The +x link out of node 0: the only link on the 0 -> 1 dimension-order route.
+LINK_0_PX = ((0, 0, 0), 0, 1)
+
+
+def _net(**fault_kw):
+    sim = Simulator()
+    machine = xt4("SN")
+    net = SimNetwork(sim, machine)
+    if fault_kw:
+        net.enable_faults(**fault_kw)
+    model = NetworkModel(machine)
+    return sim, net, model
+
+
+def _send(sim, net, model, src, dst, nbytes=100_000, out=None):
+    def mover():
+        yield from net.transfer(src, dst, nbytes, model.base_latency_s(1))
+        if out is not None:
+            out.append(sim.now)
+
+    sim.spawn(mover(), name=f"xfer{src}->{dst}")
+
+
+# -- fault state bookkeeping --------------------------------------------------
+
+def test_faults_are_off_by_default_and_enable_is_idempotent():
+    sim, net, _ = _net()
+    assert net.faults is None
+    st = net.enable_faults(max_retries=3)
+    assert net.enable_faults(max_retries=99) is st  # kwargs of 2nd call ignored
+    assert st.max_retries == 3
+
+
+def test_fault_state_validates_knobs():
+    with pytest.raises(ValueError, match="retry_timeout_s"):
+        _net(retry_timeout_s=0.0)
+    with pytest.raises(ValueError, match="max_retries"):
+        _net(max_retries=0)
+
+
+def test_fail_and_restore_link_roundtrip():
+    _, net, _ = _net(detour=False)
+    net.fail_link(LINK_0_PX)
+    assert LINK_0_PX in net.faults.failed_links
+    net.restore_link(LINK_0_PX)
+    assert LINK_0_PX not in net.faults.failed_links
+
+
+# -- retransmission / detour --------------------------------------------------
+
+def test_transfer_detours_around_a_failed_link():
+    sim, net, model = _net(detour=True)
+    net.fail_link(LINK_0_PX)
+    done = []
+    _send(sim, net, model, 0, 1, out=done)
+    sim.run()
+    assert done, "transfer must complete via the long way around the ring"
+    assert net.faults.reroutes == 1
+    assert net.faults.retransmits == 0
+    # The failed link was never used; the detour's first hop (-x) was.
+    assert net.link_bytes.get(LINK_0_PX) is None
+    assert net.link_bytes.get(((0, 0, 0), 0, -1), 0.0) > 0.0
+
+
+def test_transfer_retransmits_until_the_link_is_restored():
+    sim, net, model = _net(detour=False, retry_timeout_s=50e-6)
+    net.fail_link(LINK_0_PX)
+    # Restore well after the first attempt, so >= 1 retransmit happens.
+    sim.schedule(200e-6, lambda: net.restore_link(LINK_0_PX))
+    done = []
+    _send(sim, net, model, 0, 1, out=done)
+    sim.run()
+    assert done and done[0] > 200e-6
+    assert net.faults.retransmits >= 1
+    assert net.faults.reroutes == 0
+
+
+def test_transfer_unreachable_after_retries_exhausted():
+    sim, net, model = _net(detour=False, max_retries=3)
+    net.fail_link(LINK_0_PX)  # permanently
+    _send(sim, net, model, 0, 1)
+    with pytest.raises(NetworkUnreachableError, match="0->1"):
+        sim.run()
+    assert net.faults.retransmits == 3
+
+
+def test_nic_stall_delays_transfers_touching_the_node():
+    sim, net, model = _net()
+    net.stall_nic(0, 1e-3)
+    done = []
+    _send(sim, net, model, 0, 1, out=done)
+    sim.run()
+    assert done[0] > 1e-3  # held until the stall window passed, then sent
+    assert net.faults.nic_stall_waits == 1
+
+
+def test_nic_stall_extends_not_shrinks():
+    _, net, _ = _net()
+    net.stall_nic(4, 2e-3)
+    net.stall_nic(4, 1e-3)  # shorter stall must not cut the first short
+    assert net.faults.nic_stalled_until[4] == 2e-3
+
+
+# -- injector dispatch --------------------------------------------------------
+
+def test_injector_fires_plan_events_and_counts():
+    sim, net, model = _net()
+    plan = FaultPlan([
+        FaultEvent(t_s=1e-4, kind="nic_stall", node=2, duration_s=5e-4),
+        FaultEvent(t_s=2e-4, kind="mem_throttle", node=3, duration_s=1e-3,
+                   factor=2.0),
+        FaultEvent(t_s=3e-4, kind="os_noise", node=3, duration_s=1e-4,
+                   factor=1.5),
+    ])
+    inj = FaultInjector(sim, net, plan)
+    inj.arm()
+    sim.run()
+    assert inj.injected == 3
+    assert net.faults.nic_stalled_until[2] == pytest.approx(6e-4)
+    st = inj.state(3)
+    assert st.memory_dilation(5e-4) == pytest.approx(2.0)
+    assert st.compute_dilation(3.5e-4) == pytest.approx(1.5)
+    assert st.compute_dilation(5e-4) == 1.0  # noise window closed
+
+
+def test_injector_link_down_with_duration_schedules_restore():
+    sim, net, model = _net()
+    plan = FaultPlan([
+        FaultEvent(t_s=1e-4, kind="link_down", link=LINK_0_PX,
+                   duration_s=2e-4),
+    ])
+    FaultInjector(sim, net, plan).arm()
+    sim.run()
+    assert sim.now == pytest.approx(3e-4)  # injection + restoration fired
+    assert LINK_0_PX not in net.faults.failed_links
+
+
+def test_standalone_node_crash_fails_all_outgoing_links():
+    sim, net, _ = _net()
+    plan = FaultPlan([FaultEvent(t_s=1e-4, kind="node_crash", node=0)])
+    inj = FaultInjector(sim, net, plan)  # no on_node_crash hook
+    inj.arm()
+    sim.run()
+    assert inj.state(0).crashed
+    coord = net.torus.coord(0)
+    for dim in range(3):
+        assert (coord, dim, 1) in net.faults.failed_links
+    # A second crash of the same node is a no-op (a node dies once).
+    inj._fire(FaultEvent(t_s=1e-4, kind="node_crash", node=0))
+    assert inj.injected == 2
+
+
+def test_cancel_pending_stops_future_injections():
+    sim, net, _ = _net()
+    plan = FaultPlan([FaultEvent(t_s=10.0, kind="node_crash", node=0)])
+    inj = FaultInjector(sim, net, plan)
+    inj.arm()
+    sim.schedule(1.0, inj.cancel_pending)
+    sim.run()
+    assert sim.now == 1.0  # the armed crash at t=10 never fired
+    assert inj.injected == 0
+
+
+def test_arm_skips_events_already_in_the_past():
+    sim, net, _ = _net()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    plan = FaultPlan([
+        FaultEvent(t_s=1.0, kind="node_crash", node=0),  # already past
+        FaultEvent(t_s=9.0, kind="node_crash", node=1),
+    ])
+    inj = FaultInjector(sim, net, plan)
+    inj.arm()
+    sim.run()
+    assert inj.injected == 1
+    assert not inj.state(0).crashed
+    assert inj.state(1).crashed

@@ -1,0 +1,183 @@
+"""MPIJob under faults: bit-identity off, checkpoint/restart recovery on.
+
+The determinism regressions here are the subsystem's core contract:
+without a plan the job must take exactly the pre-fault code paths, and a
+faulted run with a fixed plan must replay bit-identically.
+"""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, FaultPolicy, installed_plan
+from repro.machine import xt4
+from repro.mpi.job import JobFailedError, MPIJob
+from repro.obs import Tracer
+
+NTASKS = 2
+ITERS = 20
+
+
+def _main(comm):
+    peer = comm.rank ^ 1
+    for i in range(ITERS):
+        yield from comm.compute(flops=2.0e7, profile="fft")
+        yield from comm.sendrecv(float(i), dest=peer, source=peer, tag=i)
+    yield from comm.allreduce(1.0)
+    return comm.wtime()
+
+
+def _run(plan=None, policy=None, sanitize=False, tracer=None):
+    job = MPIJob(
+        xt4("SN"), NTASKS, sanitize=sanitize, tracer=tracer,
+        faults=plan, fault_policy=policy,
+    )
+    return job.run(_main)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+def _crash_plan(t_s=None, baseline_elapsed=1.0, n=1):
+    t0 = baseline_elapsed * 0.4 if t_s is None else t_s
+    return FaultPlan([
+        FaultEvent(t_s=t0 * (1.0 + 0.1 * k), kind="node_crash", node=0)
+        for k in range(n)
+    ])
+
+
+def _policy(baseline_elapsed, **kw):
+    return FaultPolicy(
+        checkpoint_interval_s=baseline_elapsed / 8,
+        checkpoint_cost_s=baseline_elapsed / 100,
+        restart_cost_s=baseline_elapsed / 50,
+        **kw,
+    )
+
+
+# -- bit-identity when faults are off -----------------------------------------
+
+def test_no_plan_and_empty_plan_are_bit_identical(baseline):
+    empty = _run(plan=FaultPlan([]))
+    assert empty.elapsed_s == baseline.elapsed_s  # exact, not approx
+    assert empty.rank_times == baseline.rank_times
+    assert empty.faults_injected == 0
+    assert empty.restarts == 0 and empty.checkpoints == 0
+
+
+def test_empty_plan_shields_against_an_installed_plan(baseline):
+    crash = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    with installed_plan(crash):
+        shielded = _run(plan=FaultPlan([]), policy=None)
+    assert shielded.elapsed_s == baseline.elapsed_s
+    assert shielded.faults_injected == 0
+
+
+def test_installed_plan_reaches_jobs_built_without_arguments(baseline):
+    crash = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    policy = _policy(baseline.elapsed_s)
+    with installed_plan(crash):
+        result = _run(policy=policy)  # plan picked up from the installation
+    assert result.faults_injected == 1
+    assert result.restarts == 1
+
+
+# -- deterministic replay of faulted runs -------------------------------------
+
+def test_fixed_plan_faulted_runs_are_bit_identical(baseline):
+    plan = FaultPlan.sample(
+        horizon_s=4 * baseline.elapsed_s,
+        num_nodes=NTASKS,
+        node_mtbf_s=baseline.elapsed_s * NTASKS,
+        seed=3,
+    )
+    policy = _policy(baseline.elapsed_s, max_restarts=1000)
+    a = _run(plan=plan, policy=policy)
+    b = _run(plan=plan, policy=policy)
+    assert a.elapsed_s == b.elapsed_s  # exact
+    assert a.rank_times == b.rank_times
+    assert (a.restarts, a.checkpoints, a.faults_injected) == (
+        b.restarts, b.checkpoints, b.faults_injected
+    )
+
+
+# -- checkpoint/restart recovery ----------------------------------------------
+
+def test_checkpoint_only_overhead_is_count_times_cost(baseline):
+    policy = _policy(baseline.elapsed_s)
+    result = _run(plan=FaultPlan([]), policy=policy)
+    assert result.checkpoints >= 1
+    expected = baseline.elapsed_s + result.checkpoints * policy.checkpoint_cost_s
+    assert result.elapsed_s == pytest.approx(expected, rel=1e-12)
+
+
+def test_crash_with_policy_recovers_and_costs_time(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    policy = _policy(baseline.elapsed_s)
+    result = _run(plan=plan, policy=policy)
+    assert result.restarts == 1
+    assert result.faults_injected == 1
+    assert result.checkpoints >= 1
+    # Lost work + restart outage + checkpoint overhead all cost time.
+    assert result.elapsed_s > baseline.elapsed_s
+    # ...but recovery is bounded: lost work <= one checkpoint interval +
+    # restart + total checkpoint cost.
+    bound = (
+        baseline.elapsed_s
+        + policy.checkpoint_interval_s
+        + policy.restart_cost_s
+        + (result.checkpoints + 1) * policy.checkpoint_cost_s
+    )
+    assert result.elapsed_s <= bound
+
+
+def test_crash_without_policy_aborts_the_job(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    with pytest.raises(JobFailedError, match="no recovery policy"):
+        _run(plan=plan)
+
+
+def test_max_restarts_exhaustion_aborts(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s, n=3)
+    policy = _policy(baseline.elapsed_s, max_restarts=1)
+    with pytest.raises(JobFailedError, match="max_restarts=1"):
+        _run(plan=plan, policy=policy)
+
+
+def test_degrade_factor_slows_the_survivors(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    fast = _run(plan=plan, policy=_policy(baseline.elapsed_s))
+    slow = _run(plan=plan, policy=_policy(baseline.elapsed_s,
+                                          degrade_factor=1.5))
+    assert slow.elapsed_s > fast.elapsed_s
+
+
+def test_faulted_run_is_sanitizer_clean(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    policy = _policy(baseline.elapsed_s)
+    result = _run(plan=plan, policy=policy, sanitize=True)
+    assert result.restarts == 1
+
+
+def test_resilience_tracer_counters(baseline):
+    plan = _crash_plan(baseline_elapsed=baseline.elapsed_s)
+    policy = _policy(baseline.elapsed_s)
+    tracer = Tracer()
+    result = _run(plan=plan, policy=policy, tracer=tracer)
+    assert tracer.counters["faults.injected"].total == result.faults_injected
+    assert tracer.counters["job.restarts"].total == result.restarts
+    assert tracer.counters["job.checkpoints"].total == result.checkpoints
+    names = {s.name for s in tracer.spans}
+    assert {"job.checkpoint", "job.restart", "fault.node_crash"} <= names
+
+
+def test_mem_throttle_and_noise_dilate_elapsed_time(baseline):
+    plan = FaultPlan([
+        FaultEvent(t_s=0.0, kind="mem_throttle", node=0,
+                   duration_s=baseline.elapsed_s, factor=4.0),
+        FaultEvent(t_s=0.0, kind="os_noise", node=0,
+                   duration_s=baseline.elapsed_s, factor=2.0),
+    ])
+    result = _run(plan=plan)
+    assert result.faults_injected == 2
+    assert result.elapsed_s > baseline.elapsed_s

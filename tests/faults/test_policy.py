@@ -1,0 +1,47 @@
+"""FaultPolicy validation and Daly's optimal checkpoint interval."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultPolicy, daly_optimal_interval_s
+
+
+def test_policy_validates_fields():
+    with pytest.raises(ValueError, match="checkpoint_interval_s"):
+        FaultPolicy(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError, match="checkpoint_cost_s"):
+        FaultPolicy(1.0, -1.0, 1.0)
+    with pytest.raises(ValueError, match="restart_cost_s"):
+        FaultPolicy(1.0, 1.0, -1.0)
+    with pytest.raises(ValueError, match="max_restarts"):
+        FaultPolicy(1.0, 1.0, 1.0, max_restarts=-1)
+    with pytest.raises(ValueError, match="degrade_factor"):
+        FaultPolicy(1.0, 1.0, 1.0, degrade_factor=0.9)
+
+
+def test_policy_is_frozen_value_object():
+    pol = FaultPolicy(10.0, 0.5, 1.0)
+    with pytest.raises(Exception):
+        pol.checkpoint_interval_s = 5.0
+    assert pol == FaultPolicy(10.0, 0.5, 1.0)
+
+
+def test_daly_formula():
+    # I* = sqrt(2 C M) - C
+    assert daly_optimal_interval_s(2.0, 100.0) == pytest.approx(
+        math.sqrt(400.0) - 2.0
+    )
+    # Zero-cost checkpoints -> checkpoint continuously.
+    assert daly_optimal_interval_s(0.0, 100.0) == 0.0
+    # C << M: interval grows with sqrt(M).
+    assert daly_optimal_interval_s(1.0, 1e6) == pytest.approx(
+        math.sqrt(2e6) - 1.0
+    )
+
+
+def test_daly_validates_inputs():
+    with pytest.raises(ValueError, match="checkpoint_cost_s"):
+        daly_optimal_interval_s(-1.0, 10.0)
+    with pytest.raises(ValueError, match="mtbf_s"):
+        daly_optimal_interval_s(1.0, 0.0)

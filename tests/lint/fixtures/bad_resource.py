@@ -1,0 +1,66 @@
+"""Fixture: resource-safety violations (family ``resource-safety``)."""
+
+from repro.simengine import Delay
+
+
+def leaky_hold(res):
+    yield res.request()                        # line 7: SL501 (no try/finally)
+    yield Delay(1.0)
+    res.release()
+
+
+def leaky_in_loop(ports):
+    for port in ports:
+        yield port.request()                   # line 14: SL501 (no try/finally)
+        yield Delay(1.0)
+        port.release()
+
+
+def safe_hold(res):
+    try:
+        yield res.request()                    # clean: released in finally
+        yield Delay(1.0)
+    finally:
+        res.release()
+
+
+def safe_nested(resources):
+    acquired = []
+    try:
+        for res in resources:
+            yield res.request()                # clean: finally releases
+            acquired.append(res)
+        yield Delay(1.0)
+    finally:
+        for res in reversed(acquired):
+            res.release()
+
+
+def finally_without_release(res, log):
+    try:
+        yield res.request()                    # line 41: SL501 (finally has no release)
+        yield Delay(1.0)
+    finally:
+        log.append("done")
+
+
+def suppressed_hold(res):
+    yield res.request()                        # simlint: ignore[SL501]
+    yield Delay(1.0)
+    res.release()
+
+
+def two_step_out_of_scope(res):
+    # The assigned-grant form is out of SL501's scope (see docs/LINT.md);
+    # the interrupt-safe pattern for it checks grant.triggered in finally.
+    grant = res.request()
+    try:
+        yield grant
+        yield Delay(1.0)
+    finally:
+        if grant.triggered:
+            res.release()
+
+
+def not_a_generator(res):
+    return res.request()

@@ -79,6 +79,22 @@ def test_collective_fixture_rules_and_lines():
     assert sum(len(v) for v in rules.values()) == 2
 
 
+# -- checker 5: resource safety ----------------------------------------------
+
+def test_resource_safety_fixture_rules_and_lines():
+    rules = by_rule(findings_for("bad_resource.py"))
+    assert [f.line for f in rules["SL501"]] == [7, 14, 41]
+    assert sum(len(v) for v in rules.values()) == 3
+    assert all(f.family == "resource-safety" for f in rules["SL501"])
+
+
+def test_resource_safety_guarded_and_two_step_forms_stay_silent():
+    flagged = {f.line for f in findings_for("bad_resource.py")}
+    # safe_hold (21), safe_nested (31), suppressed (48), two-step (57+)
+    assert not flagged & {21, 31, 48}
+    assert max(flagged) == 41
+
+
 # -- pragmas -------------------------------------------------------------------
 
 @pytest.mark.parametrize(

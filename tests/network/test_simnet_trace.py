@@ -55,6 +55,38 @@ def test_utilization_identical_across_backends():
         assert job_plain.network.utilization(ln) > 0.0
 
 
+def test_hotspot_report_tie_break_agrees_across_backends():
+    """Links with identical byte counts rank by repr(link) on *both*
+    backends — without the tie-break the two reports could interleave
+    tied links differently and silently disagree."""
+    from repro.machine import xt4
+    from repro.network import NetworkModel, SimNetwork
+    from repro.simengine import Simulator
+
+    def run(tracer=None):
+        sim = Simulator(tracer=tracer)
+        machine = xt4("SN")
+        net = SimNetwork(sim, machine)
+        model = NetworkModel(machine)
+
+        def mover(src, dst):
+            # One hop each, equal bytes: three exactly-tied links.
+            yield from net.transfer(src, dst, 50_000, model.base_latency_s(1))
+
+        for src, dst in ((0, 1), (1, 2), (2, 3)):
+            sim.spawn(mover(src, dst))
+        sim.run()
+        return net.hotspot_report(top=10)
+
+    plain = run()
+    traced = run(Tracer())
+    assert plain == traced  # same links, same bytes, same ORDER
+    byte_counts = {b for _ln, b in plain}
+    assert len(byte_counts) == 1, "test requires an actual tie"
+    links = [ln for ln, _b in plain]
+    assert links == sorted(links, key=repr)
+
+
 def test_link_label_is_stable():
     assert link_label(((0, 1, 0), 0, 1)) == "0,1,0.+x"
     assert link_label(((3, 0, 2), 2, -1)) == "3,0,2.-z"

@@ -1,0 +1,448 @@
+"""Interrupt edge cases and the timeout/retry helpers.
+
+An interrupt can land while a process is queued on a resource, sleeping
+on a delay, mid-transfer, or already finished — every case must leave the
+engine's bookkeeping exact (no leaked slots, no stale wakeups, no
+stretched clock). These are the failure modes the fault-injection layer
+leans on.
+"""
+
+import pytest
+
+from repro.simengine import (
+    Delay,
+    Interrupt,
+    Resource,
+    RetryExhausted,
+    SimTimeout,
+    Simulator,
+    Store,
+    retry,
+    with_timeout,
+)
+
+
+# -- interrupt while queued on a resource ------------------------------------
+
+def test_interrupt_while_queued_on_resource_does_not_leak_slots():
+    """The queued grant is abandoned: the slot later goes to someone else
+    and the sanitizer's conservation check stays green."""
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="nic")
+    order = []
+
+    def holder():
+        yield res.request()
+        try:
+            yield Delay(2.0)
+        finally:
+            res.release()
+        order.append("holder")
+
+    def victim():
+        try:
+            yield res.request()
+            pytest.fail("victim should have been interrupted while queued")
+        except Interrupt:
+            order.append("victim-interrupted")
+
+    def straggler():
+        yield Delay(1.5)
+        yield res.request()
+        try:
+            order.append(f"straggler-granted@{sim.now}")
+        finally:
+            res.release()
+
+    sim.spawn(holder(), name="holder")
+    victim_proc = sim.spawn(victim(), name="victim")
+    sim.spawn(straggler(), name="straggler")
+
+    def interrupter():
+        yield Delay(1.0)
+        victim_proc.interrupt("fault")
+
+    sim.spawn(interrupter(), name="interrupter")
+    sim.run()  # sanitize: raises ResourceLeakError on any leaked slot
+    # release() hands the slot to the waiter synchronously, so the
+    # straggler's grant lands before the holder's own epilogue runs.
+    assert order == ["victim-interrupted", "straggler-granted@2.0", "holder"]
+    assert res.in_use == 0 and res.queue_length == 0
+
+
+def test_interrupt_while_holding_slot_releases_via_finally():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="port")
+
+    def holder():
+        yield res.request()
+        try:
+            yield Delay(10.0)
+        except Interrupt:
+            pass
+        finally:
+            res.release()
+
+    proc = sim.spawn(holder(), name="holder")
+
+    def interrupter():
+        yield Delay(1.0)
+        proc.interrupt()
+
+    sim.spawn(interrupter(), name="interrupter")
+    sim.run()
+    assert res.in_use == 0 and res.outstanding == 0
+
+
+def test_interrupted_use_helper_is_slot_exact():
+    """Resource.use() must survive an interrupt in either phase (queued
+    or holding) without leaking or over-releasing."""
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="ch")
+
+    def blocker():
+        yield from res.use(5.0)
+
+    def user():
+        try:
+            yield from res.use(1.0)
+        except Interrupt:
+            pass
+
+    sim.spawn(blocker(), name="blocker")
+    queued = sim.spawn(user(), name="queued")  # interrupted while waiting
+
+    def interrupter():
+        yield Delay(1.0)
+        queued.interrupt()
+
+    sim.spawn(interrupter(), name="interrupter")
+    sim.run()
+    assert res.in_use == 0 and res.queue_length == 0
+
+
+# -- interrupt during a delay -------------------------------------------------
+
+def test_interrupt_during_delay_resumes_immediately_and_cancels_timer():
+    """The process handles the Interrupt at the interrupt time, and the
+    abandoned sleep does not keep the clock running to its original end."""
+    sim = Simulator()
+    seen = {}
+
+    def sleeper():
+        try:
+            yield Delay(100.0)
+        except Interrupt as exc:
+            seen["t"] = sim.now
+            seen["cause"] = exc.cause
+        yield Delay(1.0)
+
+    proc = sim.spawn(sleeper(), name="sleeper")
+
+    def interrupter():
+        yield Delay(3.0)
+        proc.interrupt("node-crash")
+
+    sim.spawn(interrupter(), name="interrupter")
+    end = sim.run()
+    assert seen == {"t": 3.0, "cause": "node-crash"}
+    # 3.0 (interrupt) + 1.0 (follow-up delay); NOT 100.0: the stale timer
+    # entry was cancelled when the interrupt diverted the process.
+    assert end == 4.0
+
+
+def test_stale_delay_wakeup_does_not_double_resume():
+    """After an interrupt diverts the process into a new wait, the old
+    delay's pending wakeup is cancelled — the process steps once per
+    wait, and the dead sleep does not stretch the run."""
+    sim = Simulator()
+    steps = []
+
+    def worker():
+        try:
+            yield Delay(5.0)
+            steps.append("long-done")
+        except Interrupt:
+            steps.append(f"interrupted@{sim.now}")
+        yield Delay(5.0)
+        steps.append(f"second-done@{sim.now}")
+
+    proc = sim.spawn(worker(), name="worker")
+
+    def interrupter():
+        yield Delay(2.0)  # diverts the worker mid-sleep
+        proc.interrupt()
+
+    sim.spawn(interrupter(), name="interrupter")
+    end = sim.run()
+    assert steps == ["interrupted@2.0", "second-done@7.0"]
+    assert end == 7.0  # not 5.0+: the original sleep entry is gone
+
+
+def test_stale_event_wakeup_is_dropped_by_epoch_guard():
+    """An event the process was diverted away from may still trigger
+    later; its callback must not double-resume the process."""
+    sim = Simulator()
+    evt = None
+    steps = []
+
+    def worker():
+        nonlocal evt
+        evt = sim.event(name="signal")
+        try:
+            yield evt
+            steps.append("signalled")
+        except Interrupt:
+            steps.append(f"interrupted@{sim.now}")
+        yield Delay(2.0)
+        steps.append(f"done@{sim.now}")
+
+    proc = sim.spawn(worker(), name="worker")
+
+    def interrupter():
+        yield Delay(1.0)
+        proc.interrupt()
+        # The event fires anyway, *after* the interrupt diverts the
+        # worker (FIFO at the same timestamp): the stale callback must be
+        # swallowed, not resume the worker a second time.
+        sim.schedule(0.0, lambda: evt.succeed("late"))
+
+    sim.spawn(interrupter(), name="interrupter")
+    end = sim.run()
+    assert steps == ["interrupted@1.0", "done@3.0"]
+    assert end == 3.0
+
+
+# -- interrupt of finished / killed processes ---------------------------------
+
+def test_interrupt_of_finished_process_is_a_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Delay(1.0)
+        return 42
+
+    proc = sim.spawn(quick(), name="quick")
+    sim.run()
+    assert not proc.alive and proc.done.value == 42
+    proc.interrupt("too late")  # must not raise or reanimate
+    sim.run()
+    assert proc.done.value == 42 and not proc.done.failed
+
+
+def test_interrupt_scheduled_before_natural_finish_at_same_time():
+    """An interrupt queued at the same timestamp the process finishes:
+    whichever fires first wins, the other is ignored — never an error."""
+    sim = Simulator()
+
+    def quick():
+        yield Delay(1.0)
+        return "ok"
+
+    proc = sim.spawn(quick(), name="quick")
+
+    def interrupter():
+        yield Delay(1.0)
+        proc.interrupt()
+
+    sim.spawn(interrupter(), name="interrupter")
+    sim.run()
+    assert not proc.alive
+
+
+# -- interrupt while waiting on a store ---------------------------------------
+
+def test_interrupt_while_waiting_on_store_does_not_eat_messages():
+    """The abandoned getter is withdrawn, so a later put goes to the next
+    live consumer instead of vanishing into a dead process."""
+    sim = Simulator(sanitize=True)
+    store = Store(sim, name="inbox")
+    got = []
+
+    def victim():
+        try:
+            yield store.get()
+            pytest.fail("victim should have been interrupted")
+        except Interrupt:
+            pass
+
+    def survivor():
+        yield Delay(2.0)
+        msg = yield store.get()
+        got.append(msg)
+
+    vproc = sim.spawn(victim(), name="victim")
+    sim.spawn(survivor(), name="survivor")
+
+    def driver():
+        yield Delay(1.0)
+        vproc.interrupt()
+        yield Delay(2.0)
+        store.put("payload")
+
+    sim.spawn(driver(), name="driver")
+    sim.run()
+    assert got == ["payload"]
+    assert len(store) == 0
+
+
+# -- with_timeout / retry helpers ---------------------------------------------
+
+def test_with_timeout_event_wins():
+    sim = Simulator()
+    out = {}
+
+    def waiter():
+        ok, value = yield from with_timeout(
+            sim, sim.timeout_event(1.0, value="fast"), 5.0
+        )
+        out["result"] = (ok, value)
+
+    sim.spawn(waiter(), name="waiter")
+    end = sim.run()
+    assert out["result"] == (True, "fast")
+    # The losing internal timer was cancelled: the clock stops at 1.0.
+    assert end == 1.0
+
+
+def test_with_timeout_expires_and_abandons_the_wait():
+    sim = Simulator(sanitize=True)
+    res = Resource(sim, capacity=1, name="busy")
+    out = {}
+
+    def holder():
+        yield from res.use(10.0)
+
+    def impatient():
+        ok, value = yield from with_timeout(sim, res.request(), 2.0)
+        out["result"] = (ok, value)
+
+    sim.spawn(holder(), name="holder")
+    sim.spawn(impatient(), name="impatient")
+    sim.run()
+    assert out["result"] == (False, None)
+    # The timed-out request was withdrawn from the queue (no leak).
+    assert res.in_use == 0 and res.queue_length == 0
+
+
+def test_with_timeout_rejects_negative():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        list(with_timeout(sim, sim.event(), -1.0))
+
+
+def test_retry_backs_off_deterministically_then_succeeds():
+    sim = Simulator()
+    attempts = []
+
+    def flaky(i):
+        attempts.append((i, sim.now))
+        if i < 2:
+            raise SimTimeout(0.5, "flaky op")
+        return "done"
+
+    def proc():
+        result = yield from retry(
+            flaky, attempts=4, base_backoff_s=1.0, backoff_factor=2.0
+        )
+        return result
+
+    p = sim.spawn(proc(), name="retrier")
+    sim.run()
+    assert p.done.value == "done"
+    # Backoffs: 1.0 after attempt 0, 2.0 after attempt 1 (exponential).
+    assert attempts == [(0, 0.0), (1, 1.0), (2, 3.0)]
+
+
+def test_retry_exhaustion_chains_last_error():
+    sim = Simulator()
+
+    def always_fails(i):
+        raise SimTimeout(0.1, f"attempt {i}")
+
+    failures = {}
+
+    def proc():
+        try:
+            yield from retry(always_fails, attempts=3, base_backoff_s=0.1)
+        except RetryExhausted as exc:
+            failures["attempts"] = exc.attempts
+            failures["cause"] = str(exc.__cause__)
+
+    sim.spawn(proc(), name="retrier")
+    sim.run()
+    assert failures["attempts"] == 3
+    assert "attempt 2" in failures["cause"]
+
+
+def test_retry_drives_generator_attempts():
+    sim = Simulator()
+
+    def gen_attempt(i):
+        yield Delay(1.0)
+        if i == 0:
+            raise SimTimeout(1.0, "first try")
+        return sim.now
+
+    def proc():
+        t = yield from retry(gen_attempt, attempts=2)
+        return t
+
+    p = sim.spawn(proc(), name="retrier")
+    sim.run()
+    assert p.done.value == 2.0  # two 1s attempts, no backoff configured
+
+    with pytest.raises(ValueError):
+        list(retry(gen_attempt, attempts=0))
+
+    calls = []
+
+    def non_retryable(i):
+        calls.append(i)
+        raise KeyError("other")
+
+    def proc2():
+        yield from retry(non_retryable, attempts=5)
+
+    sim.spawn(proc2(), name="retrier2")
+    with pytest.raises(KeyError):
+        sim.run()  # exceptions outside retry_on propagate immediately
+    assert calls == [0]  # no retries were attempted
+
+
+# -- freeze ------------------------------------------------------------------
+
+def test_freeze_postpones_everything_uniformly():
+    sim = Simulator()
+    times = {}
+
+    def worker(name, dt):
+        yield Delay(dt)
+        times[name] = sim.now
+
+    sim.spawn(worker("a", 1.0), name="a")
+    sim.spawn(worker("b", 2.0), name="b")
+    sim.schedule(0.5, lambda: sim.freeze(10.0))
+    sim.run()
+    assert times == {"a": 11.0, "b": 12.0}
+
+
+def test_freeze_preserves_fifo_tie_order():
+    sim = Simulator()
+    order = []
+
+    def worker(tag):
+        yield Delay(1.0)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        sim.spawn(worker(tag), name=tag)
+    sim.schedule(0.5, lambda: sim.freeze(3.0))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_freeze_rejects_negative():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.freeze(-1.0)
