@@ -1,0 +1,46 @@
+"""Experiment runner: cold execution vs warm cache-hit benchmark.
+
+The whole point of the content-addressed cache is that a warm
+``repro all`` costs JSON loads, not simulation replays — these
+benchmarks put a number on that gap (typically 2-3 orders of magnitude
+per experiment).
+"""
+
+import pytest
+
+from repro.runner import ExperimentRunner, ResultCache
+
+IDS = ["fig05", "table1"]
+
+
+def test_runner_cold(benchmark, tmp_path):
+    def cold():
+        # A fresh cache directory every round: always misses.
+        cold.n += 1
+        cache = ResultCache(tmp_path / f"cache-{cold.n}")
+        return ExperimentRunner(cache).run(IDS)
+
+    cold.n = 0
+    outcomes = benchmark(cold)
+    assert all(not o.from_cache for o in outcomes)
+
+
+def test_runner_warm(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    ExperimentRunner(cache).run(IDS)  # warm it once
+
+    outcomes = benchmark(lambda: ExperimentRunner(cache).run(IDS))
+    assert all(o.from_cache for o in outcomes)
+
+
+def test_fingerprint_overhead(benchmark, tmp_path):
+    # Key derivation runs on every invocation, hit or miss: it must
+    # stay trivially cheap next to driver execution.
+    cache = ResultCache(tmp_path / "cache")
+    runner = ExperimentRunner(cache)
+    keys = benchmark(lambda: [runner.key_for(e) for e in IDS])
+    assert len(set(keys)) == len(IDS)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "--benchmark-only", "-q"])

@@ -5,19 +5,25 @@ Usage::
     python -m repro list
     python -m repro run fig08 [--plot] [--logx]
     python -m repro run fig02 --trace fig02.trace.json   # Perfetto trace
-    python -m repro all [--out results/]
+    python -m repro all [--out results/] [--jobs 4] [--force] [--no-cache]
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import pathlib
 import sys
 from typing import List, Optional
 
-from repro.core import all_experiments, get_experiment
-from repro.core.report import render_ascii_plot, render_csv, render_result
+from repro.core import get_experiment
+from repro.core.registry import UnknownExperimentError, experiment_titles
+from repro.core.report import (
+    render_ascii_plot,
+    render_result,
+    write_artifacts,
+)
 from repro.experiments.common import (
     add_faults_flag,
     add_trace_flag,
@@ -32,14 +38,19 @@ def _shape_check(driver, result):
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    for exp_id in all_experiments():
-        result = get_experiment(exp_id)()
-        print(f"{exp_id:14s} {result.title}")
+    # Titles come from the registry metadata: listing 26 experiments
+    # must not replay 26 simulated benchmark sweeps.
+    for exp_id, title in experiment_titles().items():
+        print(f"{exp_id:14s} {title}")
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    driver = get_experiment(args.exp_id)
+    try:
+        driver = get_experiment(args.exp_id)
+    except UnknownExperimentError as exc:
+        print(exc)
+        return 2
     companion_report = None
     with faults_from(args.faults), \
             tracing_to(args.trace, exp_id=args.exp_id) as tracer:
@@ -108,19 +119,85 @@ def cmd_machine(args: argparse.Namespace) -> int:
 
 
 def cmd_all(args: argparse.Namespace) -> int:
+    from repro.core.registry import resolve_ids
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.runner import ExperimentRunner, ResultCache
+
+    try:
+        ids = resolve_ids(args.only.split(",") if args.only else None)
+    except UnknownExperimentError as exc:
+        print(exc)
+        return 2
+
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    trace_dir: Optional[str] = None
+    tracer: Optional[Tracer] = None
+    if args.trace:
+        trace_dir = str(pathlib.Path(args.trace))
+        pathlib.Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        tracer = Tracer(meta={"command": "all"})
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ExperimentRunner(
+        cache,
+        force=args.force,
+        faults_path=args.faults,
+        trace_dir=trace_dir,
+        tracer=tracer,
+    )
+    outcomes = runner.run(ids, jobs=args.jobs)
+
     failures = 0
-    for exp_id in all_experiments():
-        driver = get_experiment(exp_id)
-        result = driver()
-        (out / f"{exp_id}.csv").write_text(render_csv(result))
-        check = _shape_check(driver, result)
+    report_rows = []
+    for o in outcomes:
+        write_artifacts(o.result, out)
+        check = _shape_check(get_experiment(o.exp_id), o.result)
         status = "PASS" if check.passed else "FAIL"
         if not check.passed:
             failures += 1
-        print(f"[{status}] {exp_id}")
-    print(f"wrote {len(all_experiments())} CSVs to {out}/")
+        origin = "cached" if o.from_cache else f"{o.wall_s:6.2f}s"
+        print(f"[{status}] {o.exp_id:14s} {origin}")
+        report_rows.append(
+            {
+                "exp_id": o.exp_id,
+                "cached": o.from_cache,
+                "wall_s": round(o.wall_s, 6),
+                "status": status,
+                "key": o.key,
+            }
+        )
+    print(
+        f"wrote {2 * len(outcomes)} files ({len(outcomes)} experiments) "
+        f"to {out}/"
+    )
+    if cache is not None:
+        print(
+            f"cache: {runner.hits} hits, {runner.misses} misses "
+            f"({args.cache_dir})"
+        )
+    elif trace_dir is not None:
+        print("cache: bypassed (tracing forces execution)")
+    else:
+        print("cache: disabled")
+    if tracer is not None:
+        runner_trace = pathlib.Path(trace_dir) / "runner.trace.json"
+        write_chrome_trace(tracer, str(runner_trace))
+        print(f"wrote per-experiment traces and {runner_trace}")
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(
+                {
+                    "experiments": report_rows,
+                    "hits": runner.hits,
+                    "misses": runner.misses,
+                    "jobs": args.jobs,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote timing report to {args.report}")
     return 1 if failures else 0
 
 
@@ -137,8 +214,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--logx", action="store_true", help="log-scale x")
     add_trace_flag(p_run)
     add_faults_flag(p_run)
-    p_all = sub.add_parser("all", help="run everything, write CSVs")
+    p_all = sub.add_parser(
+        "all", help="run everything (parallel + cached), write CSV/txt"
+    )
     p_all.add_argument("--out", default="results", help="output directory")
+    p_all.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = in-process serial)",
+    )
+    p_all.add_argument(
+        "--only", metavar="IDS",
+        help="comma-separated experiment ids to run (default: all)",
+    )
+    p_all.add_argument(
+        "--force", action="store_true",
+        help="re-execute even on a cache hit and refresh the entry",
+    )
+    p_all.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache entirely (no reads, no writes)",
+    )
+    p_all.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="cache location (default .repro-cache/)",
+    )
+    p_all.add_argument(
+        "--report", metavar="PATH",
+        help="write a JSON timing/cache report to PATH",
+    )
+    p_all.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="write one Perfetto trace per experiment into DIR "
+        "(forces execution: cached results carry no trace)",
+    )
+    add_faults_flag(p_all)
     p_mach = sub.add_parser("machine", help="inspect or export a machine config")
     p_mach.add_argument("name", nargs="?", default="xt4",
                         help="xt3 | xt3-dc | xt4 | xt4-qc | xt3/4")

@@ -33,6 +33,14 @@ class Series:
             raise ValueError(f"series {self.label!r} is empty")
         return self.y[-1]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form (x values are int/float/str)."""
+        return {"label": self.label, "x": list(self.x), "y": list(self.y)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Series":
+        return cls(data["label"], list(data["x"]), list(data["y"]))
+
 
 @dataclass
 class ExperimentResult:
@@ -63,3 +71,32 @@ class ExperimentResult:
         s = Series(label, list(x), [float(v) for v in y])
         self.series.append(s)
         return s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form; inverse of :meth:`from_dict`.
+
+        Round-trips everything the renderers consume, so a result
+        rehydrated from the runner's cache renders byte-identical CSV
+        and text reports.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "series": [s.to_dict() for s in self.series],
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            xlabel=data.get("xlabel", ""),
+            ylabel=data.get("ylabel", ""),
+            series=[Series.from_dict(s) for s in data.get("series", [])],
+            rows=data.get("rows"),
+            notes=data.get("notes", ""),
+        )

@@ -2,27 +2,59 @@
 
 Every module in :mod:`repro.experiments` registers a zero-argument callable
 returning an :class:`~repro.core.experiment.ExperimentResult`; the registry
-is what the benchmark harness and the ``examples`` iterate over.
+is what the benchmark harness, the parallel runner and the ``examples``
+iterate over.
+
+Registration also carries lightweight metadata (the artifact's title) so
+that front-ends like ``repro list`` can describe every experiment without
+executing a single driver — drivers run whole simulated benchmark sweeps,
+so listing must stay O(imports).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.experiment import ExperimentResult
 
 Driver = Callable[[], ExperimentResult]
 
 _REGISTRY: Dict[str, Driver] = {}
+_TITLES: Dict[str, str] = {}
 
 
-def register(exp_id: str) -> Callable[[Driver], Driver]:
-    """Decorator: ``@register("fig08")`` on an experiment driver."""
+class UnknownExperimentError(KeyError):
+    """Lookup of an experiment id that is not registered.
+
+    A ``KeyError`` subclass so existing ``except KeyError`` call sites
+    keep working; carries the known ids for a helpful CLI message.
+    """
+
+    def __init__(self, exp_id: str, known: List[str]) -> None:
+        super().__init__(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        )
+        self.exp_id = exp_id
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown experiment {self.exp_id!r}; known: {self.known}"
+
+
+def register(exp_id: str, title: str = "") -> Callable[[Driver], Driver]:
+    """Decorator: ``@register("fig08", title="Global HPL")`` on a driver.
+
+    ``title`` is served by :func:`experiment_title` without running the
+    driver; it must match the title of the ``ExperimentResult`` the
+    driver returns (enforced by a test).
+    """
 
     def deco(fn: Driver) -> Driver:
         if exp_id in _REGISTRY:
             raise ValueError(f"experiment {exp_id!r} registered twice")
         _REGISTRY[exp_id] = fn
+        if title:
+            _TITLES[exp_id] = title
         return fn
 
     return deco
@@ -33,16 +65,55 @@ def get_experiment(exp_id: str) -> Driver:
     _ensure_loaded()
     try:
         return _REGISTRY[exp_id]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
-        ) from exc
+    except KeyError:
+        raise UnknownExperimentError(exp_id, sorted(_REGISTRY)) from None
+
+
+def experiment_title(exp_id: str) -> str:
+    """The registered title of ``exp_id`` — without executing its driver.
+
+    Returns an empty string for drivers registered without one.
+    """
+    _ensure_loaded()
+    if exp_id not in _REGISTRY:
+        raise UnknownExperimentError(exp_id, sorted(_REGISTRY))
+    return _TITLES.get(exp_id, "")
+
+
+def experiment_titles() -> Dict[str, str]:
+    """``{exp_id: title}`` for every registered experiment (sorted)."""
+    _ensure_loaded()
+    return {exp_id: _TITLES.get(exp_id, "") for exp_id in sorted(_REGISTRY)}
+
+
+def driver_module(exp_id: str) -> str:
+    """Dotted module name of the driver registered under ``exp_id``."""
+    return get_experiment(exp_id).__module__
 
 
 def all_experiments() -> List[str]:
     """Sorted ids of every registered experiment."""
     _ensure_loaded()
     return sorted(_REGISTRY)
+
+
+def resolve_ids(requested: Optional[List[str]] = None) -> List[str]:
+    """Validate ``requested`` ids against the registry, in registry order.
+
+    ``None`` (or an empty list) means "everything". Unknown ids raise
+    :class:`UnknownExperimentError` listing the known ids.
+    """
+    _ensure_loaded()
+    known = sorted(_REGISTRY)
+    if not requested:
+        return known
+    for exp_id in requested:
+        if exp_id not in _REGISTRY:
+            raise UnknownExperimentError(exp_id, known)
+    # Registry (sorted) order, independent of how the user listed them,
+    # so parallel and serial runs merge results identically.
+    want = set(requested)
+    return [exp_id for exp_id in known if exp_id in want]
 
 
 def _ensure_loaded() -> None:

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import io
-from typing import Any, Dict, List, Sequence
+import pathlib
+from typing import Any, Dict, List, Sequence, Union
 
 from repro.core.experiment import ExperimentResult
 
@@ -101,6 +102,25 @@ def render_ascii_plot(
               + ("  (log x)" if logx else "") + "\n")
     out.write("\n".join(legend) + "\n")
     return out.getvalue()
+
+
+def write_artifacts(
+    result: ExperimentResult, out_dir: Union[str, pathlib.Path]
+) -> List[pathlib.Path]:
+    """Write ``<exp_id>.csv`` and ``<exp_id>.txt`` under ``out_dir``.
+
+    This is the canonical on-disk form of a regenerated artifact — the
+    same pair the checked-in ``results/`` directory holds — so a
+    ``repro all --out results/`` round-trips the repository exactly.
+    Returns the paths written.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    csv_path = out / f"{result.exp_id}.csv"
+    txt_path = out / f"{result.exp_id}.txt"
+    csv_path.write_text(render_csv(result))
+    txt_path.write_text(render_result(result))
+    return [csv_path, txt_path]
 
 
 def render_csv(result: ExperimentResult) -> str:

@@ -27,7 +27,10 @@ def _machines():
     }
 
 
-@register("ext_balance")
+@register(
+    "ext_balance",
+    title="Extension: system balance across XT generations",
+)
 def run() -> ExperimentResult:
     result = ExperimentResult(
         exp_id="ext_balance",

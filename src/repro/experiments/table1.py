@@ -8,7 +8,10 @@ from repro.core.validate import ShapeCheck
 from repro.machine.configs import table1_rows
 
 
-@register("table1")
+@register(
+    "table1",
+    title="Comparison of XT3, XT3 dual-core, and XT4 systems at ORNL",
+)
 def run() -> ExperimentResult:
     return ExperimentResult(
         exp_id="table1",

@@ -229,6 +229,21 @@ class Tracer:
         self.counter(name).add(t, delta)
 
     # -- introspection ----------------------------------------------------
+    def counter_totals(self, prefix: str = "") -> Dict[str, float]:
+        """``{name: total}`` for every counter, optionally filtered.
+
+        ``total`` is the sum of deltas for accumulating counters and the
+        last sample for sampled ones (see :attr:`Counter.total`). Handy
+        for summarising a run — e.g. the experiment runner's
+        ``runner.cache.*`` hit/miss counters — without exporting a
+        full trace.
+        """
+        return {
+            name: c.total
+            for name, c in sorted(self.counters.items())
+            if name.startswith(prefix)
+        }
+
     @property
     def end_time(self) -> float:
         """Latest timestamp seen across spans and counters (0.0 if empty)."""

@@ -1,0 +1,51 @@
+"""Parallel, content-addressed experiment runner.
+
+``repro all`` used to replay all 26 drivers serially from scratch on
+every invocation. This package makes re-execution cheap and
+reproducible, the property the paper's artifact (and any large
+simulation sweep) lives on:
+
+* :mod:`repro.runner.fingerprint` — derives a SHA-256 cache key from
+  the driver module source, the machine-config JSON, the shared sweep
+  constants, the package version and the fault-plan hash;
+* :mod:`repro.runner.cache` — a content-addressed result store under
+  ``.repro-cache/`` with atomic writes and corruption-as-miss reads;
+* :mod:`repro.runner.runner` — :class:`ExperimentRunner`, which checks
+  the cache, fans misses out across a process pool, merges outcomes in
+  registry order, and reports cache/wall-time counters through
+  :mod:`repro.obs`.
+
+See docs/RUNNER.md for the cache layout and CLI semantics
+(``repro all --jobs N [--force] [--no-cache]``).
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheEntry,
+    ResultCache,
+)
+from repro.runner.fingerprint import (
+    NO_FAULTS,
+    cache_key,
+    cache_key_for,
+    driver_source,
+    fault_plan_hash,
+    machine_blob,
+    sweep_blob,
+)
+from repro.runner.runner import ExperimentRunner, RunOutcome
+
+__all__ = [
+    "CacheEntry",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentRunner",
+    "NO_FAULTS",
+    "ResultCache",
+    "RunOutcome",
+    "cache_key",
+    "cache_key_for",
+    "driver_source",
+    "fault_plan_hash",
+    "machine_blob",
+    "sweep_blob",
+]

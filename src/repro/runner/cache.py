@@ -1,0 +1,127 @@
+"""Content-addressed on-disk cache of experiment results.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    .repro-cache/
+        v1/
+            ab/
+                ab3f...e2.json     # one entry per cache key
+
+Each entry is a self-describing JSON document: the key, the experiment
+id, the package version, the measured execution wall time, and the
+serialized :class:`~repro.core.experiment.ExperimentResult`. Entries are
+written atomically (temp file + ``os.replace``) so a crashed or
+concurrent run never leaves a truncated entry; unreadable entries are
+treated as misses and overwritten.
+
+The key (see :mod:`repro.runner.fingerprint`) addresses *content*: two
+trees with identical driver source, machine configs, sweeps, version and
+fault plan share results; any divergence misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.experiment import ExperimentResult
+
+#: Bump when the entry schema changes; lives in the directory layout so
+#: old and new schemas never collide.
+SCHEMA = "v1"
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheEntry:
+    """One stored experiment result plus its provenance."""
+
+    key: str
+    exp_id: str
+    version: str
+    wall_s: float
+    result: ExperimentResult
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "exp_id": self.exp_id,
+            "version": self.version,
+            "wall_s": self.wall_s,
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheEntry":
+        return cls(
+            key=data["key"],
+            exp_id=data["exp_id"],
+            version=data["version"],
+            wall_s=float(data["wall_s"]),
+            result=ExperimentResult.from_dict(data["result"]),
+        )
+
+
+class ResultCache:
+    """Filesystem-backed result store keyed by fingerprint."""
+
+    def __init__(
+        self, root: Union[str, pathlib.Path] = DEFAULT_CACHE_DIR
+    ) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry path: two-level fan-out keeps directories small."""
+        return self.root / SCHEMA / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """The entry stored under ``key``, or ``None`` (miss).
+
+        A corrupt, truncated or schema-incompatible entry is a miss,
+        never an error — the runner recomputes and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            entry = CacheEntry.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if entry.key != key:
+            return None
+        return entry
+
+    def put(self, entry: CacheEntry) -> pathlib.Path:
+        """Atomically store ``entry``; returns the entry path."""
+        path = self.path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                # No sort_keys: column order of table rows is semantic
+                # and must survive the round-trip byte-identically.
+                json.dump(entry.to_dict(), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def entries(self) -> int:
+        """Number of stored entries (for diagnostics)."""
+        base = self.root / SCHEMA
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.json"))

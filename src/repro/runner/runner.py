@@ -1,0 +1,232 @@
+"""Parallel, cache-aware execution of experiment drivers.
+
+:class:`ExperimentRunner` is the engine behind ``repro all``:
+
+* resolves the requested ids against the registry and always returns
+  outcomes in **registry (sorted) order**, whatever the completion
+  order of the workers — a ``--jobs 8`` run merges identically to a
+  serial one;
+* consults the content-addressed :class:`~repro.runner.cache.ResultCache`
+  first: a hit rehydrates the stored
+  :class:`~repro.core.experiment.ExperimentResult` without executing a
+  single driver;
+* dispatches the misses across a :class:`concurrent.futures.
+  ProcessPoolExecutor` (``jobs > 1``) or runs them inline (``jobs=1``);
+* surfaces per-experiment wall time and cache hit/miss totals through
+  the :mod:`repro.obs` counter layer (``runner.cache.hits``,
+  ``runner.cache.misses``, ``runner.exp[<id>].wall_s``) whenever a
+  tracer is supplied or installed.
+
+Wall-clock reads below are deliberate: the runner measures *host*
+execution cost of the simulators, not simulated time, so the simlint
+nondeterminism rule is suppressed at those sites.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import get_experiment, resolve_ids
+from repro.obs import Tracer, current_tracer
+from repro.runner.cache import CacheEntry, ResultCache
+from repro.runner.fingerprint import (
+    cache_key,
+    driver_source,
+    fault_plan_hash,
+    machine_blob,
+    sweep_blob,
+)
+from repro.version import __version__
+
+
+@dataclass
+class RunOutcome:
+    """One experiment's result plus how it was obtained.
+
+    ``wall_s`` is the driver execution time measured in the process
+    that ran it; for cache hits it is the *stored* execution time of
+    the original run (the hit itself costs only a JSON load).
+    """
+
+    exp_id: str
+    result: ExperimentResult
+    from_cache: bool
+    wall_s: float
+    key: Optional[str] = None
+
+
+def _execute(
+    exp_id: str,
+    faults_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one driver; returns a picklable payload.
+
+    Top-level so :class:`ProcessPoolExecutor` can ship it to workers.
+    Fault plans and tracers are installed *inside* the executing
+    process — process-global state does not cross the pool boundary.
+    """
+    from repro.experiments.common import faults_from, tracing_to
+
+    with faults_from(faults_path), tracing_to(trace_path, exp_id=exp_id):
+        t0 = time.perf_counter()  # simlint: ignore[SL201]
+        result = get_experiment(exp_id)()
+        wall_s = time.perf_counter() - t0  # simlint: ignore[SL201]
+    return {"exp_id": exp_id, "result": result.to_dict(), "wall_s": wall_s}
+
+
+class ExperimentRunner:
+    """Run experiments with caching and optional process parallelism.
+
+    :param cache: result store; ``None`` disables caching entirely
+        (every run executes, nothing is stored) — the ``--no-cache``
+        path.
+    :param force: execute even on a cache hit and overwrite the entry
+        (``--force``).
+    :param faults_path: JSON fault plan installed in every executing
+        process; its hash is part of every cache key, so injected runs
+        never alias fault-free ones.
+    :param trace_dir: when set, each *executed* experiment writes a
+        Perfetto trace to ``<trace_dir>/<exp_id>.trace.json``. Tracing
+        implies execution — a cache hit cannot regenerate a trace — so
+        the cache is bypassed (not read, not written) for the
+        invocation.
+    :param tracer: receives the runner's own counters; defaults to the
+        process-wide installed tracer, if any.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        force: bool = False,
+        faults_path: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.cache = cache
+        self.force = bool(force)
+        self.faults_path = faults_path
+        self.trace_dir = trace_dir
+        self.tracer = tracer
+        self.hits = 0
+        self.misses = 0
+
+    # -- key derivation ---------------------------------------------------
+    def key_for(self, exp_id: str) -> str:
+        """The content-address of ``exp_id`` under the current inputs."""
+        return cache_key(
+            exp_id,
+            driver_src=driver_source(exp_id),
+            machines=machine_blob(),
+            sweeps=sweep_blob(),
+            version=__version__,
+            fault_hash=fault_plan_hash(self.faults_path),
+        )
+
+    # -- execution --------------------------------------------------------
+    def run(self, exp_ids: Optional[List[str]] = None, jobs: int = 1
+            ) -> List[RunOutcome]:
+        """Run ``exp_ids`` (default: all), ``jobs`` processes wide.
+
+        Returns one :class:`RunOutcome` per id, in registry order.
+        """
+        ids = resolve_ids(exp_ids)
+        caching = self.cache is not None and self.trace_dir is None
+        outcomes: Dict[str, RunOutcome] = {}
+        keys: Dict[str, str] = {}
+        to_run: List[str] = []
+
+        for exp_id in ids:
+            key = self.key_for(exp_id) if caching else None
+            if key is not None:
+                keys[exp_id] = key
+            entry = (
+                self.cache.get(key)
+                if (caching and not self.force)
+                else None
+            )
+            if entry is not None:
+                outcomes[exp_id] = RunOutcome(
+                    exp_id=exp_id,
+                    result=entry.result,
+                    from_cache=True,
+                    wall_s=entry.wall_s,
+                    key=key,
+                )
+            else:
+                to_run.append(exp_id)
+
+        for payload in self._execute_many(to_run, jobs):
+            exp_id = payload["exp_id"]
+            result = ExperimentResult.from_dict(payload["result"])
+            key = keys.get(exp_id)
+            outcome = RunOutcome(
+                exp_id=exp_id,
+                result=result,
+                from_cache=False,
+                wall_s=payload["wall_s"],
+                key=key,
+            )
+            if caching and key is not None:
+                self.cache.put(
+                    CacheEntry(
+                        key=key,
+                        exp_id=exp_id,
+                        version=__version__,
+                        wall_s=outcome.wall_s,
+                        result=result,
+                    )
+                )
+            outcomes[exp_id] = outcome
+
+        ordered = [outcomes[exp_id] for exp_id in ids]
+        self._publish(ordered)
+        return ordered
+
+    def _execute_many(
+        self, exp_ids: List[str], jobs: int
+    ) -> List[Dict[str, Any]]:
+        if not exp_ids:
+            return []
+        trace_path = {
+            exp_id: (
+                f"{self.trace_dir}/{exp_id}.trace.json"
+                if self.trace_dir
+                else None
+            )
+            for exp_id in exp_ids
+        }
+        if jobs <= 1 or len(exp_ids) == 1:
+            return [
+                _execute(e, self.faults_path, trace_path[e]) for e in exp_ids
+            ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_execute, e, self.faults_path, trace_path[e])
+                for e in exp_ids
+            ]
+            return [f.result() for f in futures]
+
+    # -- telemetry --------------------------------------------------------
+    def _publish(self, outcomes: List[RunOutcome]) -> None:
+        """Update hit/miss totals and mirror them onto the tracer.
+
+        Counter timestamps are the outcome's index in registry order —
+        a deterministic "time" axis, so two runs over the same tree
+        export identical hit/miss counter series even though host wall
+        times differ.
+        """
+        self.hits = sum(1 for o in outcomes if o.from_cache)
+        self.misses = len(outcomes) - self.hits
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        if tracer is None:
+            return
+        for i, o in enumerate(outcomes):
+            name = "runner.cache.hits" if o.from_cache else "runner.cache.misses"
+            tracer.add(name, float(i), 1.0)
+            tracer.record(f"runner.exp[{o.exp_id}].wall_s", float(i), o.wall_s)

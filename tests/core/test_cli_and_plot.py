@@ -3,7 +3,7 @@
 import pytest
 
 from repro.__main__ import main
-from repro.core import ExperimentResult
+from repro.core import ExperimentResult, registry
 from repro.core.report import render_ascii_plot
 
 
@@ -11,6 +11,20 @@ def test_cli_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "fig08" in out and "table1" in out
+    assert "Global High Performance LINPACK (HPL)" in out
+
+
+def test_cli_list_executes_no_driver(capsys, monkeypatch):
+    # Listing must be O(imports): titles come from registry metadata,
+    # never from running the 26 simulated benchmark sweeps.
+    registry._ensure_loaded()
+    for exp_id in list(registry._REGISTRY):
+        def bomb(exp_id=exp_id):
+            raise AssertionError(f"driver {exp_id} executed by `list`")
+        monkeypatch.setitem(registry._REGISTRY, exp_id, bomb)
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out and "SP/EP Matrix Multiply (DGEMM)" in out
 
 
 def test_cli_run_pass(capsys):
@@ -25,17 +39,61 @@ def test_cli_run_with_plot(capsys):
     assert "(log x)" in out
 
 
-def test_cli_all_writes_csvs(tmp_path, capsys):
-    assert main(["all", "--out", str(tmp_path)]) == 0
-    files = list(tmp_path.glob("*.csv"))
-    assert len(files) >= 23
+def test_cli_all_writes_csvs_and_txt(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    cache_dir = tmp_path / "cache"
+    assert main([
+        "all", "--out", str(out_dir), "--cache-dir", str(cache_dir),
+    ]) == 0
+    csvs = list(out_dir.glob("*.csv"))
+    txts = list(out_dir.glob("*.txt"))
+    assert len(csvs) >= 23
+    assert {p.stem for p in txts} == {p.stem for p in csvs}
     out = capsys.readouterr().out
     assert "[PASS]" in out and "[FAIL]" not in out
+    assert "26 misses" in out
 
 
-def test_cli_unknown_experiment():
-    with pytest.raises(KeyError):
-        main(["run", "fig99"])
+def test_cli_all_warm_cache_is_byte_identical(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["--only", "fig05,table1", "--cache-dir", cache_dir]
+    assert main(["all", "--out", str(tmp_path / "o1")] + args) == 0
+    assert main(["all", "--out", str(tmp_path / "o2")] + args) == 0
+    out = capsys.readouterr().out
+    assert "2 hits, 0 misses" in out
+    for p in sorted((tmp_path / "o1").iterdir()):
+        assert p.read_bytes() == (tmp_path / "o2" / p.name).read_bytes()
+
+
+def test_cli_all_report(tmp_path):
+    import json
+
+    report = tmp_path / "report.json"
+    assert main([
+        "all", "--only", "table1", "--out", str(tmp_path / "o"),
+        "--cache-dir", str(tmp_path / "c"), "--report", str(report),
+    ]) == 0
+    data = json.loads(report.read_text())
+    assert data["misses"] == 1 and data["hits"] == 0
+    assert data["experiments"][0]["exp_id"] == "table1"
+    assert data["experiments"][0]["status"] == "PASS"
+
+
+def test_cli_unknown_experiment(capsys):
+    # A typo'd id is a user error with a helpful message and exit code
+    # 2 — not an uncaught KeyError traceback.
+    assert main(["run", "fig99"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment 'fig99'" in out and "known:" in out
+
+
+def test_cli_all_only_unknown_experiment(tmp_path, capsys):
+    assert main([
+        "all", "--only", "fig99", "--out", str(tmp_path / "o"),
+    ]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment 'fig99'" in out and "known:" in out
+    assert not (tmp_path / "o" / "fig99.csv").exists()
 
 
 def test_ascii_plot_renders_series():

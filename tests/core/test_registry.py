@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core import all_experiments, get_experiment
-from repro.core.registry import register
+from repro.core.registry import (
+    UnknownExperimentError,
+    experiment_title,
+    experiment_titles,
+    register,
+    resolve_ids,
+)
 
 
 PAPER_IDS = {
@@ -34,3 +40,38 @@ def test_unknown_experiment_raises():
 def test_double_registration_rejected():
     with pytest.raises(ValueError):
         register("table1")(lambda: None)
+
+
+def test_every_experiment_has_a_registered_title():
+    titles = experiment_titles()
+    assert set(titles) == PAPER_IDS | EXTENSION_IDS
+    assert all(titles.values()), "drivers registered without a title"
+
+
+def test_registered_title_matches_driver_result():
+    # The registry metadata exists so `repro list` can skip execution;
+    # it must agree with what the driver actually returns.
+    for exp_id in ("table1", "fig05"):
+        result = get_experiment(exp_id)()
+        assert experiment_title(exp_id) == result.title
+
+
+def test_experiment_title_unknown_id():
+    with pytest.raises(UnknownExperimentError, match="known:"):
+        experiment_title("fig99")
+
+
+def test_resolve_ids_defaults_to_all_in_order():
+    assert resolve_ids(None) == all_experiments()
+    assert resolve_ids([]) == all_experiments()
+
+
+def test_resolve_ids_returns_registry_order():
+    assert resolve_ids(["table1", "fig05", "fig02"]) == [
+        "fig02", "fig05", "table1",
+    ]
+
+
+def test_resolve_ids_rejects_unknown():
+    with pytest.raises(UnknownExperimentError, match="fig99"):
+        resolve_ids(["fig05", "fig99"])

@@ -34,6 +34,22 @@ def test_accumulating_ties_keep_write_order():
     assert c.series() == [(1.0, 2.0), (1.0, 0.0)]
 
 
+def test_counter_totals_with_prefix_filter():
+    t = Tracer()
+    t.add("runner.cache.hits", 0.0, 1.0)
+    t.add("runner.cache.hits", 1.0, 1.0)
+    t.add("runner.cache.misses", 2.0, 1.0)
+    t.record("runner.exp[fig05].wall_s", 0.0, 0.25)
+    t.record("net.link.bytes", 0.0, 64.0)
+    totals = t.counter_totals("runner.cache.")
+    assert totals == {
+        "runner.cache.hits": 2.0,
+        "runner.cache.misses": 1.0,
+    }
+    assert t.counter_totals()["net.link.bytes"] == 64.0
+    assert list(t.counter_totals()) == sorted(t.counter_totals())
+
+
 def test_counter_modes_cannot_mix():
     c = Counter("x")
     c.record(0.0, 1.0)

@@ -1,0 +1,159 @@
+"""ExperimentRunner: caching, invalidation, parallel/serial equivalence."""
+
+import pytest
+
+from repro.core import registry
+from repro.core.report import render_csv, render_result
+from repro.obs import Tracer
+from repro.runner import ExperimentRunner, ResultCache
+
+CHEAP = ["fig05", "table1"]
+
+
+def _bomb_all_drivers(monkeypatch):
+    """Replace every registered driver with one that fails the test."""
+    registry._ensure_loaded()
+    for exp_id, original in list(registry._REGISTRY.items()):
+        def bomb(exp_id=exp_id):
+            raise AssertionError(f"driver {exp_id} executed")
+        # Keep the original module so the source fingerprint (and hence
+        # the cache key) is unchanged — only execution must differ.
+        bomb.__module__ = original.__module__
+        monkeypatch.setitem(registry._REGISTRY, exp_id, bomb)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_cold_run_executes_and_caches(cache):
+    runner = ExperimentRunner(cache)
+    outcomes = runner.run(CHEAP)
+    assert [o.exp_id for o in outcomes] == sorted(CHEAP)
+    assert all(not o.from_cache for o in outcomes)
+    assert (runner.hits, runner.misses) == (0, 2)
+    assert cache.entries() == 2
+
+
+def test_warm_run_executes_no_driver(cache, monkeypatch):
+    cold = ExperimentRunner(cache).run(CHEAP)
+    _bomb_all_drivers(monkeypatch)
+    warm = ExperimentRunner(cache).run(CHEAP)
+    assert all(o.from_cache for o in warm)
+    for a, b in zip(cold, warm):
+        assert render_csv(a.result) == render_csv(b.result)
+        assert render_result(a.result) == render_result(b.result)
+
+
+def test_force_re_executes(cache):
+    ExperimentRunner(cache).run(CHEAP)
+    runner = ExperimentRunner(cache, force=True)
+    outcomes = runner.run(CHEAP)
+    assert all(not o.from_cache for o in outcomes)
+    assert (runner.hits, runner.misses) == (0, 2)
+
+
+def test_no_cache_never_stores(tmp_path):
+    runner = ExperimentRunner(None)
+    outcomes = runner.run(CHEAP)
+    assert all(not o.from_cache for o in outcomes)
+    assert all(o.key is None for o in outcomes)
+    again = ExperimentRunner(None).run(CHEAP)
+    assert all(not o.from_cache for o in again)
+
+
+def test_driver_source_edit_invalidates(cache, monkeypatch):
+    ExperimentRunner(cache).run(["fig05"])
+    monkeypatch.setattr(
+        "repro.runner.runner.driver_source",
+        lambda exp_id: "# edited\n",
+    )
+    runner = ExperimentRunner(cache)
+    outcomes = runner.run(["fig05"])
+    assert not outcomes[0].from_cache
+    assert runner.misses == 1
+
+
+def test_machine_config_swap_invalidates(cache, monkeypatch):
+    ExperimentRunner(cache).run(["fig05"])
+    monkeypatch.setattr(
+        "repro.runner.runner.machine_blob", lambda: '{"other": true}'
+    )
+    outcomes = ExperimentRunner(cache).run(["fig05"])
+    assert not outcomes[0].from_cache
+
+
+def test_sweep_change_invalidates(cache, monkeypatch):
+    ExperimentRunner(cache).run(["fig05"])
+    monkeypatch.setattr(
+        "repro.runner.runner.sweep_blob", lambda: '{"GLOBAL_SWEEP": [1]}'
+    )
+    outcomes = ExperimentRunner(cache).run(["fig05"])
+    assert not outcomes[0].from_cache
+
+
+def test_version_bump_invalidates(cache, monkeypatch):
+    ExperimentRunner(cache).run(["fig05"])
+    monkeypatch.setattr("repro.runner.runner.__version__", "999.0.0")
+    outcomes = ExperimentRunner(cache).run(["fig05"])
+    assert not outcomes[0].from_cache
+
+
+def test_fault_plan_invalidates_and_never_aliases(cache, tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"version": 1, "events": []}')
+    fault_free = ExperimentRunner(cache).run(["table1"])
+    faulted = ExperimentRunner(cache, faults_path=str(plan)).run(["table1"])
+    assert not faulted[0].from_cache  # distinct key, no aliasing
+    assert fault_free[0].key != faulted[0].key
+    # Each variant warms its own entry.
+    assert ExperimentRunner(cache).run(["table1"])[0].from_cache
+    warm = ExperimentRunner(cache, faults_path=str(plan)).run(["table1"])
+    assert warm[0].from_cache
+
+
+def test_identical_inputs_hit_with_identical_bytes(cache):
+    cold = ExperimentRunner(cache).run(["fig05"])
+    warm = ExperimentRunner(cache).run(["fig05"])
+    assert warm[0].from_cache
+    assert warm[0].key == cold[0].key
+    assert render_csv(warm[0].result) == render_csv(cold[0].result)
+    assert render_result(warm[0].result) == render_result(cold[0].result)
+
+
+def test_parallel_matches_serial(cache, tmp_path):
+    ids = ["fig02", "fig05", "table1"]
+    serial = ExperimentRunner(None).run(ids, jobs=1)
+    parallel = ExperimentRunner(ResultCache(tmp_path / "p")).run(ids, jobs=2)
+    assert [o.exp_id for o in parallel] == [o.exp_id for o in serial]
+    for a, b in zip(serial, parallel):
+        assert a.result.to_dict() == b.result.to_dict()
+
+
+def test_runner_counters_reach_tracer(cache):
+    tracer = Tracer()
+    ExperimentRunner(cache, tracer=tracer).run(CHEAP)
+    totals = tracer.counter_totals("runner.")
+    assert totals["runner.cache.misses"] == 2.0
+    assert "runner.cache.hits" not in totals
+    assert totals["runner.exp[fig05].wall_s"] > 0.0
+    warm_tracer = Tracer()
+    ExperimentRunner(cache, tracer=warm_tracer).run(CHEAP)
+    assert warm_tracer.counter_totals()["runner.cache.hits"] == 2.0
+
+
+def test_trace_dir_bypasses_cache_and_writes_traces(cache, tmp_path):
+    ExperimentRunner(cache).run(["fig02"])
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    runner = ExperimentRunner(cache, trace_dir=str(trace_dir))
+    outcomes = runner.run(["fig02"])
+    assert not outcomes[0].from_cache  # executed despite warm cache
+    assert (trace_dir / "fig02.trace.json").is_file()
+    assert cache.entries() == 1  # and nothing new was stored
+
+
+def test_unknown_id_raises_with_known_list(cache):
+    with pytest.raises(registry.UnknownExperimentError, match="known:"):
+        ExperimentRunner(cache).run(["fig99"])
