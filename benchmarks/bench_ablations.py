@@ -27,13 +27,15 @@ def test_ablation_shared_memory_controller(benchmark):
     penalty = benchmark(run)
     assert 1.2 < penalty < 1.4
     # Counterfactual: a controller with per-core private bandwidth.
+    ddr2_latency_ns = 60.0
+    xt4_gups_rate_gups = 0.021
     private = MemorySpec(
         name="counterfactual",
         peak_bw_GBs=2 * 10.6,  # bandwidth scaled with cores
-        latency_ns=60.0,
+        latency_ns=ddr2_latency_ns,
         stream_efficiency=0.61,
         single_core_bw_fraction=0.5,
-        random_update_rate_gups=0.021,
+        random_update_rate_gups=xt4_gups_rate_gups,
     )
     mem = MemoryModel(private, cores=2)
     assert mem.per_core_bandwidth_GBs(2) == pytest.approx(

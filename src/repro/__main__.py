@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig08 [--plot] [--logx]
     python -m repro run fig02 --trace fig02.trace.json   # Perfetto trace
     python -m repro all [--out results/] [--jobs 4] [--force] [--no-cache]
+    python -m repro lint src/ tests/                     # simlint passthrough
 """
 
 from __future__ import annotations
@@ -248,6 +249,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(forces execution: cached results carry no trace)",
     )
     add_faults_flag(p_all)
+    p_lint = sub.add_parser(
+        "lint",
+        help="run simlint (see `repro lint -- --help` for its options)",
+        add_help=False,
+    )
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     p_mach = sub.add_parser("machine", help="inspect or export a machine config")
     p_mach.add_argument("name", nargs="?", default="xt4",
                         help="xt3 | xt3-dc | xt4 | xt4-qc | xt3/4")
@@ -261,6 +268,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        lint_args = args.lint_args
+        if lint_args and lint_args[0] == "--":
+            lint_args = lint_args[1:]
+        return lint_main(lint_args)
     if args.command == "machine":
         return cmd_machine(args)
     return cmd_all(args)

@@ -19,19 +19,42 @@ the conventions the simulator's correctness rests on:
   an interrupted process cannot leak slots
   (:mod:`repro.lint.check_resource_safety`).
 
-Run it as ``python -m repro.lint [paths]`` (or the ``repro-lint`` console
-script); suppress a deliberate violation with ``# simlint: ignore[RULE]``
-on the offending line. Each rule is documented in ``docs/LINT.md``.
+Those five families stop at function boundaries. The *whole-program*
+pass (:mod:`repro.lint.program`, built on the symbol table and call
+graph in :mod:`repro.lint.callgraph`) adds three interprocedural
+families that see through project-defined helpers:
+
+* ``helper-flow`` (SL601–SL603) — ``yield from`` discipline for
+  transitively-process helper functions;
+* ``collective-flow`` (SL701–SL702) — collective matching across helper
+  calls under rank-dependent control flow;
+* ``units`` (SL304–SL305) — unit dataflow into resolved callee
+  parameters and out of inferred return units.
+
+Run it as ``python -m repro.lint [paths]``, ``repro-lint`` or
+``repro lint``; suppress a deliberate violation with
+``# simlint: ignore[RULE]`` on the offending statement (any line of it)
+or ``# simlint: ignore-file[RULE]`` for a whole module. Mechanical
+violations are repairable with ``--fix`` / ``--fix --write``
+(:mod:`repro.lint.fixes`); adopt new rules over legacy debt with
+``--baseline`` (:mod:`repro.lint.baseline`). Results are cached under
+``.repro-cache/lint/`` (:mod:`repro.lint.cache`). Each rule is
+documented in ``docs/LINT.md``.
 """
 
 from repro.lint.core import (
     Checker,
+    Edit,
     Finding,
+    Fix,
     all_checkers,
+    all_rules,
+    expand_paths,
     lint_file,
     lint_paths,
     lint_source,
     register,
+    register_program,
 )
 
 # Importing the checker modules registers them with the framework.
@@ -40,13 +63,27 @@ from repro.lint import check_determinism  # noqa: F401
 from repro.lint import check_resource_safety  # noqa: F401
 from repro.lint import check_units  # noqa: F401
 from repro.lint import check_yieldfrom  # noqa: F401
+from repro.lint import program  # noqa: F401  (interprocedural checkers)
+
+from repro.lint.cache import LintCache
+from repro.lint.fixes import apply_fixes, fix_files
+from repro.lint.program import Program
 
 __all__ = [
     "Checker",
+    "Edit",
     "Finding",
+    "Fix",
+    "LintCache",
+    "Program",
     "all_checkers",
+    "all_rules",
+    "apply_fixes",
+    "expand_paths",
+    "fix_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register",
+    "register_program",
 ]

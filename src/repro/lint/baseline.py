@@ -1,0 +1,97 @@
+"""Baseline snapshot / ratchet: land new rules without a flag-day.
+
+``repro-lint --update-baseline --baseline FILE`` snapshots the current
+findings; later runs with ``--baseline FILE`` report only findings *not*
+in the snapshot. The tree can then adopt a new rule family immediately —
+existing debt is frozen, new violations fail — and ratchet the baseline
+down over time (stale entries are counted and reported so shrinking the
+file stays visible).
+
+A finding's fingerprint deliberately ignores the line *number* — moving
+code around must not resurrect baselined findings — and instead hashes
+the path, the rule and the stripped source line text. Several identical
+lines in one file are disambiguated by count: the baseline stores how
+many findings share a fingerprint, and a run may use up to that many.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.core import Finding
+
+SCHEMA = 1
+
+
+def fingerprint(finding: Finding, line_text: str = "") -> str:
+    """Stable identity of a finding across line-number churn."""
+    basis = f"{finding.path}\x00{finding.rule}\x00{line_text.strip()}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:20]
+
+
+def _line_text(finding: Finding, sources: Dict[str, List[str]]) -> str:
+    lines = sources.get(finding.path)
+    if lines is None:
+        try:
+            lines = Path(finding.path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        sources[finding.path] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1]
+    return ""
+
+
+def counts_for(findings: Iterable[Finding]) -> Counter:
+    sources: Dict[str, List[str]] = {}
+    return Counter(fingerprint(f, _line_text(f, sources)) for f in findings)
+
+
+def write_baseline(path: "str | Path", findings: Iterable[Finding]) -> int:
+    """Snapshot ``findings`` into ``path``; returns the entry count."""
+    counts = counts_for(findings)
+    doc = {
+        "schema": SCHEMA,
+        "tool": "simlint",
+        "entries": {fp: n for fp, n in sorted(counts.items())},
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: "str | Path") -> Counter:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported baseline schema in {path}")
+    return Counter({fp: int(n) for fp, n in doc.get("entries", {}).items()})
+
+
+def filter_with_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], int, int]:
+    """(new findings, suppressed count, stale baseline entries).
+
+    Suppression is per-fingerprint with multiplicity: a baseline entry
+    recorded twice absorbs at most two current findings. Entries that
+    absorb nothing are *stale* — the debt was paid; shrink the baseline.
+    """
+    sources: Dict[str, List[str]] = {}
+    budget = Counter(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for f in findings:
+        fp = fingerprint(f, _line_text(f, sources))
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            kept.append(f)
+    used = suppressed
+    total = sum(baseline.values())
+    stale = total - used
+    return kept, suppressed, stale

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk lint cache (same idiom as the runner's).
+
+Layout (under the cache root, default ``.repro-cache/lint/``)::
+
+    .repro-cache/lint/
+        v1/
+            sum/ab/ab3f...e2.json   # module summary, keyed on source hash
+            res/9c/9c41...77.json   # findings, keyed on source + dep closure
+
+Two stores, two keys:
+
+* **summaries** are a function of one module's source alone, so they key
+  on ``sha256(salt + source)`` — a warm run loads every summary without
+  a single ``ast.parse``.
+* **findings** additionally depend on every project module the file
+  transitively imports (the interprocedural rules look through those
+  calls), so their key folds in the content hash of the whole import
+  closure. Editing one module therefore invalidates exactly that module
+  and its reverse-dependency closure — nothing else.
+
+Entries are written atomically (temp file + ``os.replace``); unreadable
+or schema-mismatched entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import List, Optional, Union
+
+from repro.lint.callgraph import SUMMARY_SCHEMA, ModuleSummary
+from repro.lint.core import Finding
+
+SCHEMA = "v1"
+
+DEFAULT_LINT_CACHE_DIR = os.path.join(".repro-cache", "lint")
+
+
+class LintCache:
+    """Filesystem-backed summary + findings store."""
+
+    def __init__(
+        self, root: Union[str, pathlib.Path] = DEFAULT_LINT_CACHE_DIR
+    ) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / SCHEMA / kind / key[:2] / f"{key}.json"
+
+    # -- raw JSON store ------------------------------------------------------
+    def _get(self, kind: str, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(kind, key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None  # missing or corrupt: a miss either way
+
+    def _put(self, kind: str, key: str, doc: dict) -> None:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- module summaries ----------------------------------------------------
+    def summary_get(self, src_hash: str) -> Optional[ModuleSummary]:
+        doc = self._get("sum", src_hash)
+        if doc is None or doc.get("schema") != SUMMARY_SCHEMA:
+            return None
+        try:
+            return ModuleSummary.from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def summary_put(self, src_hash: str, summary: ModuleSummary) -> None:
+        self._put("sum", src_hash, summary.to_dict())
+
+    # -- findings ------------------------------------------------------------
+    def findings_get(self, key: str) -> Optional[List[Finding]]:
+        doc = self._get("res", key)
+        if doc is None or doc.get("schema") != SUMMARY_SCHEMA:
+            return None
+        try:
+            return [Finding.from_dict(d) for d in doc["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def findings_put(self, key: str, findings: List[Finding]) -> None:
+        self._put(
+            "res",
+            key,
+            {"schema": SUMMARY_SCHEMA, "findings": [f.to_dict() for f in findings]},
+        )

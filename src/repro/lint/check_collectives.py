@@ -24,6 +24,10 @@ Rank-dependence is syntactic: the conditional's test mentions a bare
 on a sub-communicator whose membership genuinely is rank-dependent (a
 ``comm.split`` product) are legal MPI; suppress those sites with
 ``# simlint: ignore[SL401]`` and a comment naming the subcomm.
+
+Both rules stop at function boundaries; their interprocedural
+complements SL701/SL702 (:mod:`repro.lint.program`) reuse this module's
+collective tables and rank heuristics to see *through* helper calls.
 """
 
 from __future__ import annotations
@@ -96,6 +100,13 @@ def _collectives_in(stmts: List[ast.stmt]) -> List[Tuple[str, ast.Call]]:
 
 def _returns(stmts: List[ast.stmt]) -> bool:
     return any(isinstance(n, ast.Return) for n in _subtree_nodes(stmts))
+
+
+# Public aliases for the interprocedural layer (repro.lint.program /
+# repro.lint.callgraph build on the same heuristics).
+collective_name = _collective_name
+mentions_rank = _mentions_rank
+has_returns = _returns
 
 
 @register

@@ -2,11 +2,21 @@
 
 Usage::
 
-    python -m repro.lint [paths ...]     # default: src/ if it exists, else .
+    python -m repro.lint [paths ...]       # default: src/ if it exists, else .
     python -m repro.lint --list-rules
-    repro-lint src/                      # console-script form
+    repro-lint src/ tests/ --select yield-from,SL701
+    repro-lint src/ --fix                  # preview autofixes as a diff
+    repro-lint src/ --fix --write          # apply them
+    repro-lint src/ --baseline lint-baseline.json --update-baseline
+    repro-lint src/ --format sarif -o lint.sarif
+    repro lint src/                        # via the main repro CLI
 
-Exit status: 0 when clean, 1 when findings remain, 2 on usage errors.
+Exit status: 0 when clean (or every finding was fixed/baselined),
+1 when findings remain, 2 on usage errors.
+
+Results are cached under ``.repro-cache/lint/`` keyed on file content
+plus the project import closure; a warm run re-parses nothing
+(``--stats`` shows the counters, ``--no-cache`` bypasses the store).
 """
 
 from __future__ import annotations
@@ -16,14 +26,25 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.core import all_checkers, lint_paths
+from repro.lint import baseline as baseline_mod
+from repro.lint.cache import DEFAULT_LINT_CACHE_DIR, LintCache
+from repro.lint.core import (
+    DEFAULT_EXCLUDES,
+    NotAPythonFileError,
+    all_checkers,
+    expand_paths,
+    known_selectors,
+)
+from repro.lint.fixes import fix_files
+from repro.lint.formats import FORMATS, render
+from repro.lint.program import Program
 
 
 def _default_paths() -> List[str]:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="simulation-correctness static analysis (simlint)",
@@ -39,24 +60,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="RULES",
         help="comma-separated rule ids / families to report (default: all)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        metavar="NAME",
+        help="directory component to skip during expansion (repeatable; "
+        f"default: {', '.join(DEFAULT_EXCLUDES)}; explicit files always lint)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="preview mechanical autofixes as a unified diff",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="with --fix: apply the autofixes to the files",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in this baseline snapshot",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the rendered findings to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the lint result cache (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_LINT_CACHE_DIR, metavar="DIR",
+        help=f"cache location (default {DEFAULT_LINT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print parse / cache counters to stderr",
+    )
+    return parser
 
-    wanted = None
-    if args.select:
-        wanted = {tok.strip() for tok in args.select.split(",") if tok.strip()}
-        known = {"SL001"}
-        for cls in all_checkers():
-            known.add(cls.family)
-            known.update(cls.rules)
-        unknown = wanted - known
-        if unknown:
-            # A typo'd selector must not silently report "clean".
-            print(
-                f"repro-lint: unknown rule/family in --select: "
-                f"{', '.join(sorted(unknown))} (see --list-rules)",
-                file=sys.stderr,
-            )
-            return 2
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
 
     if args.list_rules:
         for cls in all_checkers():
@@ -65,17 +117,97 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {rule}  {desc}")
         return 0
 
+    wanted = None
+    if args.select:
+        wanted = {tok.strip() for tok in args.select.split(",") if tok.strip()}
+        unknown = wanted - known_selectors()
+        if unknown:
+            # A typo'd selector must not silently report "clean".
+            print(
+                f"repro-lint: unknown rule/family in --select: "
+                f"{', '.join(sorted(unknown))} (see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.write and not args.fix:
+        print("repro-lint: --write requires --fix", file=sys.stderr)
+        return 2
+    if args.update_baseline and not args.baseline:
+        print("repro-lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    excludes = tuple(args.exclude) if args.exclude else DEFAULT_EXCLUDES
     try:
-        findings = lint_paths(args.paths or _default_paths())
-    except FileNotFoundError as exc:
+        files = expand_paths(args.paths or _default_paths(), excludes)
+    except (FileNotFoundError, NotAPythonFileError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+    program = Program(files, cache=cache)
+    findings = program.lint_all()
 
     if wanted:
         findings = [f for f in findings if f.rule in wanted or f.family in wanted]
 
-    for f in findings:
-        print(f)
+    if args.update_baseline:
+        n = baseline_mod.write_baseline(args.baseline, findings)
+        print(f"wrote baseline with {n} finding(s) to {args.baseline}",
+              file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            snapshot = baseline_mod.load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = baseline_mod.filter_with_baseline(
+            findings, snapshot
+        )
+        if suppressed or stale:
+            note = f"baseline: {suppressed} finding(s) suppressed"
+            if stale:
+                note += (
+                    f", {stale} entr{'ies' if stale != 1 else 'y'} stale "
+                    f"(debt paid — ratchet with --update-baseline)"
+                )
+            print(note, file=sys.stderr)
+
+    if args.stats:
+        s = program.stats
+        print(
+            f"simlint cache: {s['files']} files, {s['parsed']} parsed, "
+            f"{s['summary_hits']} summary hits, "
+            f"{s['findings_hits']} findings hits",
+            file=sys.stderr,
+        )
+
+    if args.fix:
+        diffs, applied = fix_files(findings, write=args.write)
+        for path in sorted(diffs):
+            print(diffs[path], end="")
+        remaining = [f for f in findings if f not in applied]
+        verb = "fixed" if args.write else "would fix"
+        print(
+            f"\nsimlint: {verb} {len(applied)} of {len(findings)} "
+            f"finding(s) in {len(diffs)} file(s)",
+            file=sys.stderr,
+        )
+        if args.write:
+            for f in remaining:
+                print(f)
+            return 1 if remaining else 0
+        return 1 if findings else 0
+
+    rendered = render(findings, args.fmt)
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(f"wrote {len(findings)} finding(s) to {args.output} "
+              f"({args.fmt})", file=sys.stderr)
+    elif rendered.strip() or args.fmt != "text":
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+
     n = len(findings)
     if n:
         print(f"\nsimlint: {n} finding{'s' if n != 1 else ''}", file=sys.stderr)

@@ -1,32 +1,113 @@
-"""simlint framework: findings, the checker registry, pragmas, drivers.
+"""simlint framework: findings, fixes, the checker registries, pragmas.
 
-A *checker* is a class with a ``family`` name, a ``rules`` table (rule id →
-one-line description) and a ``check(tree, filename)`` method yielding
-:class:`Finding` objects. Checkers register themselves with
-:func:`register`; :func:`lint_source` runs every registered checker over
-one file and filters findings suppressed by pragmas.
+A *file checker* is a class with a ``family`` name, a ``rules`` table
+(rule id → one-line description) and a ``check(tree, filename)`` method
+yielding :class:`Finding` objects; it sees one module at a time and
+registers with :func:`register`. A *program checker* additionally
+receives the whole-program index (:class:`repro.lint.program.Program`)
+as a third argument — ``check(tree, filename, program)`` — and registers
+with :func:`register_program`; that is how the interprocedural SL6xx /
+SL7xx / SL304–SL305 rules see through helper calls.
 
-Suppression pragma, on the line the finding points at (or the first line
-of the offending statement)::
+Findings may carry a :class:`Fix`: a list of source edits that
+mechanically repair the violation. ``repro-lint --fix`` previews the
+edits as a unified diff and ``--fix --write`` applies them (see
+:mod:`repro.lint.fixes`).
 
-    t = time.time()          # simlint: ignore[SL201]
-    t = time.time()          # simlint: ignore[nondet]   (whole family)
-    t = time.time()          # simlint: ignore           (any rule)
+Suppression pragmas:
+
+* line pragma, anywhere on *any* line of the offending (simple)
+  statement — black-style trailing comments on the closing line of a
+  wrapped call work::
+
+      t = time.time()          # simlint: ignore[SL201]
+      t = time.time()          # simlint: ignore[nondet]   (whole family)
+      t = time.time()          # simlint: ignore           (any rule)
+
+* file pragma, conventionally near the top of the module, silencing the
+  named rules/families for the entire file::
+
+      # simlint: ignore-file[SL303] — tests pass raw literals by design
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Protocol, Sequence, Type
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
-_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([^\]]*)\])?", re.IGNORECASE)
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore(?!-file)(?:\[([^\]]*)\])?", re.IGNORECASE)
+_FILE_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore-file(?:\[([^\]]*)\])?", re.IGNORECASE)
 
 #: Sentinel in the per-line suppression map: every rule is ignored.
 _ALL = "*"
 
+
+# -- fixes ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Edit:
+    """One textual replacement: span ``(line, col)``–``(end_line, end_col)``
+    (1-based lines, 0-based columns, end-exclusive) becomes ``text``.
+    A zero-width span is an insertion."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    text: str
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Edit":
+        return cls(d["line"], d["col"], d["end_line"], d["end_col"], d["text"])
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical repair: an ordered tuple of non-overlapping edits."""
+
+    edits: Tuple[Edit, ...]
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "edits": [e.to_dict() for e in self.edits],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Fix":
+        return cls(tuple(Edit.from_dict(e) for e in d["edits"]), d.get("description", ""))
+
+
+def insert(line: int, col: int, text: str) -> Edit:
+    """Zero-width edit: insert ``text`` at ``(line, col)``."""
+    return Edit(line, col, line, col, text)
+
+
+# -- findings ---------------------------------------------------------------
 
 @dataclass(frozen=True)
 class Finding:
@@ -38,13 +119,39 @@ class Finding:
     line: int
     col: int
     message: str
+    fix: Optional[Fix] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.family}] {self.message}"
 
+    def to_dict(self) -> dict:
+        d = {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.fix is not None:
+            d["fix"] = self.fix.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        return cls(
+            rule=d["rule"],
+            family=d["family"],
+            path=d["path"],
+            line=d["line"],
+            col=d["col"],
+            message=d["message"],
+            fix=Fix.from_dict(d["fix"]) if d.get("fix") else None,
+        )
+
 
 class Checker(Protocol):
-    """Interface every registered checker class implements."""
+    """Interface every registered file checker class implements."""
 
     family: str
     rules: Dict[str, str]
@@ -53,81 +160,207 @@ class Checker(Protocol):
 
 
 _REGISTRY: List[Type] = []
+_PROGRAM_REGISTRY: List[Type] = []
 
 
-def register(cls: Type) -> Type:
-    """Class decorator adding a checker to the global registry."""
+def _validated(cls: Type) -> Type:
     for attr in ("family", "rules", "check"):
         if not hasattr(cls, attr):
             raise TypeError(f"checker {cls.__name__} lacks {attr!r}")
-    _REGISTRY.append(cls)
+    return cls
+
+
+def register(cls: Type) -> Type:
+    """Class decorator adding a per-file checker to the global registry."""
+    _REGISTRY.append(_validated(cls))
+    return cls
+
+
+def register_program(cls: Type) -> Type:
+    """Class decorator adding a whole-program (interprocedural) checker."""
+    _PROGRAM_REGISTRY.append(_validated(cls))
     return cls
 
 
 def all_checkers() -> List[Type]:
-    """The registered checker classes, in registration order."""
+    """Every registered checker class: file checkers, then program checkers."""
+    return list(_REGISTRY) + list(_PROGRAM_REGISTRY)
+
+
+def file_checkers() -> List[Type]:
     return list(_REGISTRY)
+
+
+def program_checkers() -> List[Type]:
+    return list(_PROGRAM_REGISTRY)
+
+
+#: Rules implemented by the framework itself rather than a checker class.
+FRAMEWORK_RULES = {"SL001": "file does not parse (syntax error)"}
+
+#: Family of the framework's parse rule.
+FRAMEWORK_FAMILIES = {"parse"}
 
 
 def all_rules() -> Dict[str, str]:
     """rule id → description across every registered checker."""
-    table: Dict[str, str] = {}
-    for cls in _REGISTRY:
+    table: Dict[str, str] = dict(FRAMEWORK_RULES)
+    for cls in all_checkers():
         table.update(cls.rules)
     return table
 
 
+def known_selectors() -> Set[str]:
+    """Every valid ``--select`` token: rule ids and family names."""
+    known: Set[str] = set(FRAMEWORK_RULES) | set(FRAMEWORK_FAMILIES)
+    for cls in all_checkers():
+        known.add(cls.family)
+        known.update(cls.rules)
+    return known
+
+
 # -- suppression -----------------------------------------------------------
 
-def _suppressions(source: str) -> Dict[int, set]:
-    """Per-line suppression sets: line number → {rule ids / families / *}."""
-    out: Dict[int, set] = {}
+_COMPOUND_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.If,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+def _pragma_tokens(match: "re.Match") -> set:
+    spec = match.group(1)
+    if spec is None:
+        return {_ALL}
+    return {tok.strip() for tok in spec.split(",") if tok.strip()} or {_ALL}
+
+
+def _suppressions(source: str) -> Tuple[Dict[int, set], set]:
+    """(line → suppression tokens, file-wide suppression tokens)."""
+    lines: Dict[int, set] = {}
+    file_wide: set = set()
     for lineno, text in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(text)
-        if not m:
+        m = _FILE_PRAGMA_RE.search(text)
+        if m:
+            file_wide |= _pragma_tokens(m)
             continue
-        spec = m.group(1)
-        if spec is None:
-            out[lineno] = {_ALL}
-        else:
-            out[lineno] = {tok.strip() for tok in spec.split(",") if tok.strip()}
+        m = _PRAGMA_RE.search(text)
+        if m:
+            lines.setdefault(lineno, set()).update(_pragma_tokens(m))
+    return lines, file_wide
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(lineno, end_lineno) of every *simple* statement, innermost last.
+
+    Used to let a pragma anywhere on a wrapped statement (for example on
+    the closing line, where black parks trailing comments) suppress a
+    finding that points at the statement's first line.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and not isinstance(node, _COMPOUND_STMTS):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if end > node.lineno:
+                spans.append((node.lineno, end))
+    return spans
+
+
+def _expand_pragma_lines(
+    supp: Dict[int, set], spans: List[Tuple[int, int]]
+) -> Dict[int, set]:
+    """Spread each pragma over the innermost simple statement holding it."""
+    if not spans:
+        return supp
+    out: Dict[int, set] = {ln: set(toks) for ln, toks in supp.items()}
+    for pragma_line, tokens in supp.items():
+        containing = [s for s in spans if s[0] <= pragma_line <= s[1]]
+        if not containing:
+            continue
+        # innermost = narrowest span
+        start, end = min(containing, key=lambda s: s[1] - s[0])
+        for ln in range(start, end + 1):
+            out.setdefault(ln, set()).update(tokens)
     return out
 
 
-def _suppressed(finding: Finding, supp: Dict[int, set]) -> bool:
-    tokens = supp.get(finding.line)
-    if not tokens:
-        return False
-    if _ALL in tokens:
+def _matches(tokens: set, finding: Finding) -> bool:
+    return _ALL in tokens or finding.rule in tokens or finding.family in tokens
+
+
+def _suppressed(finding: Finding, supp: Dict[int, set], file_wide: set) -> bool:
+    if file_wide and _matches(file_wide, finding):
         return True
-    return finding.rule in tokens or finding.family in tokens
+    tokens = supp.get(finding.line)
+    return bool(tokens) and _matches(tokens, finding)
 
 
 # -- drivers ---------------------------------------------------------------
 
-def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
-    """Run every registered checker over ``source``; returns kept findings."""
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule="SL001",
-                family="parse",
-                path=filename,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    supp = _suppressions(source)
+def parse_failure(filename: str, exc: SyntaxError) -> Finding:
+    """The SL001 finding for an unparseable file."""
+    return Finding(
+        rule="SL001",
+        family="parse",
+        path=filename,
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def run_checkers(
+    tree: ast.Module, source: str, filename: str, program=None
+) -> List[Finding]:
+    """Run every registered checker over one parsed module.
+
+    ``program`` is the whole-program index; when None the program
+    checkers are skipped (pure single-file mode).
+    """
+    supp, file_wide = _suppressions(source)
+    supp = _expand_pragma_lines(supp, _statement_spans(tree))
     findings: List[Finding] = []
     for cls in _REGISTRY:
-        for f in cls().check(tree, filename):
-            if not _suppressed(f, supp):
-                findings.append(f)
+        findings.extend(cls().check(tree, filename))
+    if program is not None:
+        disproved: List[Tuple[str, int, int]] = []
+        for cls in _PROGRAM_REGISTRY:
+            checker = cls()
+            findings.extend(checker.check(tree, filename, program))
+            # A program checker may *disprove* per-file findings: e.g.
+            # branches whose collective sequences equalize once helper
+            # calls are expanded are not SL401 violations after all.
+            refute = getattr(checker, "refuted_spans", None)
+            if refute is not None:
+                disproved.extend(refute(tree, filename, program))
+        if disproved:
+            findings = [
+                f
+                for f in findings
+                if not any(
+                    f.rule == rule and lo <= f.line <= hi
+                    for rule, lo, hi in disproved
+                )
+            ]
+    findings = [f for f in findings if not _suppressed(f, supp, file_wide)]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Run every checker (including interprocedural ones, scoped to this
+    single module) over ``source``; returns kept findings."""
+    from repro.lint.program import Program  # local: avoids import cycle
+
+    program = Program.from_sources({filename: source})
+    return program.lint_all()
 
 
 def lint_file(path: "str | Path") -> List[Finding]:
@@ -136,23 +369,55 @@ def lint_file(path: "str | Path") -> List[Finding]:
     return lint_source(p.read_text(encoding="utf-8"), filename=str(p))
 
 
-def lint_paths(paths: Sequence["str | Path"]) -> List[Finding]:
-    """Lint files and directory trees (``*.py``, recursively)."""
-    findings: List[Finding] = []
-    for f in sorted(set(_expand(paths))):
-        findings.extend(lint_file(f))
-    return findings
+def lint_paths(paths: Sequence["str | Path"], cache=None) -> List[Finding]:
+    """Lint files and directory trees (``*.py``, recursively) as one
+    program: helper calls resolve across every module in ``paths``.
+
+    Directory expansion skips paths containing a ``fixtures`` component
+    (deliberately-bad lint fixtures); explicitly named files are always
+    linted.
+    """
+    from repro.lint.program import Program  # local: avoids import cycle
+
+    program = Program(expand_paths(paths), cache=cache)
+    return program.lint_all()
 
 
-def _expand(paths: Iterable["str | Path"]) -> Iterator[Path]:
+class NotAPythonFileError(ValueError):
+    """An explicitly named, existing path that simlint cannot lint."""
+
+
+#: Directory-expansion components that are skipped by default.
+DEFAULT_EXCLUDES = ("fixtures",)
+
+
+def expand_paths(
+    paths: Iterable["str | Path"], excludes: Sequence[str] = DEFAULT_EXCLUDES
+) -> List[Path]:
+    """Expand files and directories into a sorted, deduplicated file list.
+
+    Raises :class:`FileNotFoundError` for a missing path and
+    :class:`NotAPythonFileError` for an explicitly named existing
+    non-``.py`` file — both are usage errors, not silent clean passes.
+    """
+    return sorted(set(_expand(paths, tuple(excludes))))
+
+
+def _expand(paths: Iterable["str | Path"], excludes: Tuple[str, ...]) -> Iterator[Path]:
     for path in paths:
         p = Path(path)
         if p.is_dir():
-            yield from p.rglob("*.py")
-        elif p.suffix == ".py":
+            for f in p.rglob("*.py"):
+                if not (excludes and set(excludes) & set(f.parts)):
+                    yield f
+        elif p.suffix == ".py" and p.exists():
             yield p
         elif not p.exists():
             raise FileNotFoundError(f"no such file or directory: {p}")
+        else:
+            raise NotAPythonFileError(
+                f"{p} is not a python file (only *.py files can be linted)"
+            )
 
 
 # -- shared AST helpers (used by several checkers) -------------------------

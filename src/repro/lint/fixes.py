@@ -1,0 +1,141 @@
+"""Autofix engine: apply the mechanical repairs findings carry.
+
+Checkers attach a :class:`~repro.lint.core.Fix` — an ordered tuple of
+:class:`~repro.lint.core.Edit` spans — to findings whose repair is
+purely mechanical (insert ``yield from``, wrap a hold in
+``try/finally``, wrap a set in ``sorted(...)``). This module turns those
+edits into new file contents:
+
+* :func:`apply_fixes` — apply every applicable fix to one source string,
+  skipping fixes that overlap an already-accepted edit (first finding
+  wins; the next ``--fix`` run picks up the remainder).
+* :func:`fix_files` — group findings per file, compute the fixed text,
+  and return per-file unified diffs; optionally write the files.
+
+The engine is convergent: applying fixes removes the findings that
+produced them, so a second ``--fix`` run emits an empty diff.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.core import Edit, Finding
+
+#: Rules whose fixes are safe to apply mechanically. Findings outside
+#: this set never carry fixes; the table is the documented contract.
+FIXABLE_RULES = frozenset(
+    {"SL101", "SL102", "SL103", "SL104", "SL203", "SL501",
+     "SL601", "SL602", "SL603"}
+)
+
+
+def _offsets(source: str) -> List[int]:
+    """Absolute offset of the start of each 1-based line (plus EOF)."""
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _edit_span(edit: Edit, starts: List[int]) -> Tuple[int, int]:
+    def offset(line: int, col: int) -> int:
+        if line <= 0:
+            return 0
+        if line > len(starts) - 1:
+            return starts[-1]  # past EOF: append
+        return min(starts[line - 1] + col, starts[-1])
+
+    return offset(edit.line, edit.col), offset(edit.end_line, edit.end_col)
+
+
+def apply_fixes(source: str, findings: Sequence[Finding]) -> Tuple[str, List[Finding]]:
+    """Apply every fix carried by ``findings`` to ``source``.
+
+    Returns ``(new_source, applied)``. Fixes whose spans overlap an
+    already-accepted edit are skipped — re-linting the fixed source
+    surfaces them again for the next round.
+    """
+    starts = _offsets(source)
+    accepted: List[Tuple[int, int, str, int]] = []  # (start, end, text, seq)
+    applied: List[Finding] = []
+    seq = 0
+    for finding in sorted(findings, key=lambda f: (f.line, f.col, f.rule)):
+        if finding.fix is None:
+            continue
+        spans = [_edit_span(e, starts) for e in finding.fix.edits]
+        texts = [e.text for e in finding.fix.edits]
+        if any(s > e for s, e in spans):
+            continue
+        if _overlaps(spans, accepted):
+            continue
+        for (s, e), t in zip(spans, texts):
+            accepted.append((s, e, t, seq))
+            seq += 1
+        applied.append(finding)
+    if not accepted:
+        return source, []
+    accepted.sort(key=lambda item: (item[0], item[3]))
+    out: List[str] = []
+    pos = 0
+    for s, e, t, _ in accepted:
+        out.append(source[pos:s])
+        out.append(t)
+        pos = e
+    out.append(source[pos:])
+    return "".join(out), applied
+
+
+def _overlaps(
+    spans: Sequence[Tuple[int, int]], accepted: Sequence[Tuple[int, int, str, int]]
+) -> bool:
+    for s, e in spans:
+        for as_, ae, _, _ in accepted:
+            if s < ae and as_ < e:  # proper range intersection
+                return True
+            if s == e == as_ == ae:  # two insertions at the same point
+                return True
+    return False
+
+
+def fix_files(
+    findings: Iterable[Finding], write: bool = False
+) -> Tuple[Dict[str, str], List[Finding]]:
+    """Compute (and optionally write) fixed file contents.
+
+    Returns ``(diff by path, applied findings)``. Paths whose fixes all
+    got skipped produce no diff entry.
+    """
+    by_path: Dict[str, List[Finding]] = {}
+    for f in findings:
+        if f.fix is not None:
+            by_path.setdefault(f.path, []).append(f)
+    diffs: Dict[str, str] = {}
+    applied_all: List[Finding] = []
+    for path in sorted(by_path):
+        p = Path(path)
+        try:
+            source = p.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        fixed, applied = apply_fixes(source, by_path[path])
+        if not applied or fixed == source:
+            continue
+        applied_all.extend(applied)
+        diffs[path] = unified_diff(source, fixed, path)
+        if write:
+            p.write_text(fixed, encoding="utf-8")
+    return diffs, applied_all
+
+
+def unified_diff(old: str, new: str, path: str) -> str:
+    return "".join(
+        difflib.unified_diff(
+            old.splitlines(keepends=True),
+            new.splitlines(keepends=True),
+            fromfile=f"a/{path}",
+            tofile=f"b/{path}",
+        )
+    )

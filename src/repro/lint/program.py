@@ -1,0 +1,712 @@
+"""Whole-program lint pass: one parse per module, interprocedural rules.
+
+:class:`Program` owns the project-wide analysis: it loads every module
+in the linted file set exactly once, extracts
+:class:`~repro.lint.callgraph.ModuleSummary` records (from the on-disk
+cache when warm — see :mod:`repro.lint.cache`), builds the symbol table
+and :class:`~repro.lint.callgraph.Classifier`, and then lints each file
+with both the per-file checkers and the three interprocedural families
+defined here:
+
+* ``helper-flow`` (SL601–SL603) — ``yield from`` discipline *through
+  project helpers*: a wrapper around ``comm.allreduce`` is itself a
+  process helper, and calling it like a plain function is the same
+  silent no-op SL101 catches for the built-in helper tables.
+* ``collective-flow`` (SL701–SL702) — collective matching across helper
+  calls: rank-conditional branches whose *transitive* collective
+  sequences differ, and collective-bearing helpers reached only by the
+  ranks that survived a rank-dependent early return.
+* ``units`` (SL304–SL305) — unit dataflow: arguments checked against the
+  resolved callee's parameter units (positional args included, units
+  propagated through intermediate unsuffixed parameters) and assignment
+  targets checked against the callee's inferred return unit.
+
+Findings are cached per file under a content-addressed key covering the
+file *and its project import closure*, so editing one module invalidates
+exactly it and its reverse dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.callgraph import (
+    SUMMARY_SCHEMA,
+    Classifier,
+    FunctionInfo,
+    ModuleSummary,
+    SymbolTable,
+    _call_spec,
+    module_name_for,
+    summarize_module,
+)
+from repro.lint.check_collectives import _collective_name, _mentions_rank, _returns
+from repro.lint.check_units import UNIT_SUFFIXES, suffix_of, unit_of
+from repro.lint.check_yieldfrom import _gen_helper_name
+from repro.lint.core import (
+    Edit,
+    Finding,
+    Fix,
+    insert,
+    is_generator,
+    parse_failure,
+    register_program,
+    run_checkers,
+)
+
+
+def _salt() -> str:
+    """Cache salt: schema plus the registered rule table.
+
+    New or renamed rules re-key every entry; behaviour changes inside an
+    existing rule require a :data:`~repro.lint.callgraph.SUMMARY_SCHEMA`
+    bump.
+    """
+    from repro.lint.core import all_rules
+
+    ids = ",".join(sorted(all_rules()))
+    return f"simlint/{SUMMARY_SCHEMA}/{hashlib.sha256(ids.encode()).hexdigest()[:12]}"
+
+
+@dataclass
+class _FileRecord:
+    path: str
+    source: str
+    src_hash: str
+    module: str
+    summary: Optional[ModuleSummary] = None
+    tree: Optional[ast.Module] = None
+    syntax_error: Optional[Finding] = None
+    findings: Optional[List[Finding]] = None
+    findings_cached: bool = False
+
+
+class Program:
+    """The whole-program lint engine over a fixed set of files."""
+
+    def __init__(self, paths: Sequence["str | Path"], cache=None):
+        self.cache = cache
+        self.stats: Dict[str, int] = {
+            "files": 0,
+            "parsed": 0,
+            "summary_hits": 0,
+            "findings_hits": 0,
+        }
+        self._records: Dict[str, _FileRecord] = {}
+        self._order: List[str] = []
+        sources: Dict[str, str] = {}
+        for p in paths:
+            name = str(p)
+            if name in sources:
+                continue
+            sources[name] = Path(p).read_text(encoding="utf-8")
+        self._build(sources)
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str], cache=None) -> "Program":
+        """A program over in-memory sources (filename → source text)."""
+        self = cls.__new__(cls)
+        self.cache = cache
+        self.stats = {
+            "files": 0,
+            "parsed": 0,
+            "summary_hits": 0,
+            "findings_hits": 0,
+        }
+        self._records = {}
+        self._order = []
+        self._build(dict(sources))
+        return self
+
+    # -- construction --------------------------------------------------------
+    def _build(self, sources: Dict[str, str]) -> None:
+        salt = _salt()
+        for name, source in sources.items():
+            h = hashlib.sha256((salt + "\x00" + source).encode("utf-8")).hexdigest()
+            rec = _FileRecord(
+                path=name,
+                source=source,
+                src_hash=h,
+                module=module_name_for(name),
+            )
+            self._records[name] = rec
+            self._order.append(name)
+        self.stats["files"] = len(self._records)
+
+        for rec in self._records.values():
+            summary = None
+            if self.cache is not None:
+                summary = self.cache.summary_get(rec.src_hash)
+                if summary is not None:
+                    self.stats["summary_hits"] += 1
+                    # cached summaries keep resolution keyed on the
+                    # *current* path/module of the content
+                    summary.module = rec.module
+                    summary.path = rec.path
+            if summary is None:
+                tree = self._parse(rec)
+                if tree is None:
+                    continue
+                summary = summarize_module(tree, rec.module, rec.path)
+                if self.cache is not None:
+                    self.cache.summary_put(rec.src_hash, summary)
+            rec.summary = summary
+
+        # first file wins on (rare) module-name collisions
+        modules: Dict[str, ModuleSummary] = {}
+        for name in self._order:
+            rec = self._records[name]
+            if rec.summary is not None and rec.module not in modules:
+                modules[rec.module] = rec.summary
+        self.table = SymbolTable(modules)
+        self.classifier = Classifier(self.table)
+        self._closure_keys: Dict[str, str] = {}
+
+    def _parse(self, rec: _FileRecord) -> Optional[ast.Module]:
+        if rec.tree is not None:
+            return rec.tree
+        if rec.syntax_error is not None:
+            return None
+        try:
+            tree = ast.parse(rec.source, filename=rec.path)
+        except SyntaxError as exc:
+            rec.syntax_error = parse_failure(rec.path, exc)
+            rec.findings = [rec.syntax_error]
+            return None
+        self.stats["parsed"] += 1
+        rec.tree = tree
+        return tree
+
+    # -- cache keys -----------------------------------------------------------
+    def findings_key(self, path: str) -> str:
+        """Content key for a file's findings: its own hash plus the hash
+        of every project module in its transitive import closure."""
+        rec = self._records[path]
+        if path in self._closure_keys:
+            return self._closure_keys[path]
+        parts = [rec.src_hash]
+        closure = self.table.dependency_closure(rec.module) - {rec.module}
+        by_module = {
+            r.module: r.src_hash
+            for r in self._records.values()
+            if r.summary is not None
+        }
+        for mod in sorted(closure):
+            if mod in by_module:
+                parts.append(f"{mod}={by_module[mod]}")
+        key = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        self._closure_keys[path] = key
+        return key
+
+    # -- linting --------------------------------------------------------------
+    def lint_file(self, path: str) -> List[Finding]:
+        rec = self._records[str(path)]
+        if rec.findings is not None:
+            return rec.findings
+        key = None
+        if self.cache is not None:
+            key = self.findings_key(rec.path)
+            cached = self.cache.findings_get(key)
+            if cached is not None:
+                self.stats["findings_hits"] += 1
+                rec.findings = cached
+                rec.findings_cached = True
+                return cached
+        tree = self._parse(rec)
+        if tree is None:  # syntax error: findings already set
+            assert rec.findings is not None
+            return rec.findings
+        rec.findings = run_checkers(tree, rec.source, rec.path, program=self)
+        if self.cache is not None and key is not None:
+            self.cache.findings_put(key, rec.findings)
+        return rec.findings
+
+    def lint_all(self) -> List[Finding]:
+        out: List[Finding] = []
+        for name in self._order:
+            out.extend(self.lint_file(name))
+        return out
+
+    @property
+    def paths(self) -> List[str]:
+        return list(self._order)
+
+    def parsed_paths(self) -> List[str]:
+        """Files that were actually parsed this run (cache misses)."""
+        return [r.path for r in self._records.values() if r.tree is not None]
+
+    # -- context for checkers --------------------------------------------------
+    def module_of(self, filename: str) -> str:
+        rec = self._records.get(str(filename))
+        return rec.module if rec else module_name_for(filename)
+
+    def resolve(
+        self, filename: str, spec, class_hint: Optional[str] = None
+    ) -> Optional[str]:
+        if spec is None:
+            return None
+        return self.table.resolve_call(self.module_of(filename), spec, class_hint)
+
+    def enclosing_function(
+        self, filename: str, lineno: int
+    ) -> Optional[Tuple[str, FunctionInfo]]:
+        """(function key, info) of the innermost summarised function
+        containing ``lineno`` in ``filename``."""
+        rec = self._records.get(str(filename))
+        if rec is None or rec.summary is None:
+            return None
+        best = None
+        for qual, info in rec.summary.functions.items():
+            if info.lineno <= lineno <= info.end_lineno:
+                if best is None or info.lineno > best[1].lineno:
+                    best = (f"{rec.module}:{qual}", info)
+        return best
+
+
+# ---------------------------------------------------------------------------
+# interprocedural checkers
+# ---------------------------------------------------------------------------
+
+def _class_map(tree: ast.Module) -> Dict[ast.FunctionDef, Optional[str]]:
+    """Top-level functions and methods → enclosing class name (or None)."""
+    out: Dict[ast.FunctionDef, Optional[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            out[node] = None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    out[item] = node.name
+    return out
+
+
+def _body_nodes(stmts: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statement subtrees without entering nested function scopes."""
+    stack: List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _short(key: str) -> str:
+    """Human-readable function reference: ``module:Cls.meth`` → ``Cls.meth``."""
+    return key.partition(":")[2]
+
+
+@register_program
+class HelperFlowChecker:
+    """SL6xx: yield-from discipline through project-defined helpers."""
+
+    family = "helper-flow"
+    rules = {
+        "SL601": "project process-helper call discarded (missing 'yield from')",
+        "SL602": "process-helper call assigned/returned where a value is "
+        "expected (binds a generator object)",
+        "SL603": "'yield' of a project process-helper (use 'yield from')",
+    }
+
+    def check(
+        self, tree: ast.Module, filename: str, program: Program
+    ) -> Iterator[Finding]:
+        for func, class_name in _class_map(tree).items():
+            if not is_generator(func):
+                continue
+            yield from self._check_generator(func, class_name, filename, program)
+
+    def _resolve_process(
+        self, call: ast.Call, class_name: Optional[str], filename: str, program: Program
+    ) -> Optional[str]:
+        """Key of the called project process-helper, or None.
+
+        Calls that the per-file SL1xx tables already cover are skipped —
+        one finding per defect.
+        """
+        if _gen_helper_name(call) is not None:
+            return None
+        key = program.resolve(filename, _call_spec(call, class_name), class_name)
+        return key if program.classifier.is_process(key) else None
+
+    def _check_generator(
+        self,
+        func: ast.FunctionDef,
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+    ) -> Iterator[Finding]:
+        for node in _body_nodes(func.body):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                key = self._resolve_process(node.value, class_name, filename, program)
+                if key:
+                    yield _finding(
+                        self, "SL601", node.value, filename,
+                        f"result of process-helper '{_short(key)}(...)' is "
+                        f"discarded — the simulated operation never runs; "
+                        f"use 'yield from ...'",
+                        fix=Fix(
+                            (insert(node.value.lineno, node.value.col_offset,
+                                    "yield from "),),
+                            "insert 'yield from'",
+                        ),
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if isinstance(value, ast.Call):
+                    key = self._resolve_process(value, class_name, filename, program)
+                    if key:
+                        yield _finding(
+                            self, "SL602", value, filename,
+                            f"'{_short(key)}(...)' assigned without 'yield "
+                            f"from' — the target binds a generator object, "
+                            f"not the operation's result",
+                            fix=Fix(
+                                (insert(value.lineno, value.col_offset,
+                                        "yield from "),),
+                                "insert 'yield from'",
+                            ),
+                        )
+            elif isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                key = self._resolve_process(node.value, class_name, filename, program)
+                if key:
+                    call = node.value
+                    fix = None
+                    if getattr(call, "end_lineno", None) is not None:
+                        fix = Fix(
+                            (
+                                insert(call.lineno, call.col_offset, "(yield from "),
+                                insert(call.end_lineno, call.end_col_offset, ")"),
+                            ),
+                            "return the driven result",
+                        )
+                    yield _finding(
+                        self, "SL602", call, filename,
+                        f"'return {_short(key)}(...)' inside a generator "
+                        f"returns the generator object itself — use "
+                        f"'return (yield from {_short(key)}(...))'",
+                        fix=fix,
+                    )
+            elif isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+                key = self._resolve_process(node.value, class_name, filename, program)
+                if key:
+                    yield _finding(
+                        self, "SL603", node, filename,
+                        f"'yield {_short(key)}(...)' hands the simulator a "
+                        f"generator object, not a command; use 'yield from "
+                        f"{_short(key)}(...)'",
+                        fix=Fix(
+                            (Edit(node.lineno, node.col_offset,
+                                  node.lineno, node.col_offset + len("yield"),
+                                  "yield from"),),
+                            "yield → yield from",
+                        ),
+                    )
+
+
+@register_program
+class CollectiveFlowChecker:
+    """SL7xx: collective matching seen through helper calls."""
+
+    family = "collective-flow"
+    rules = {
+        "SL701": "rank-dependent branches whose transitive collective "
+        "sequences differ (through helper calls)",
+        "SL702": "collective-bearing helper call after a rank-dependent "
+        "early return",
+    }
+
+    def check(
+        self, tree: ast.Module, filename: str, program: Program
+    ) -> Iterator[Finding]:
+        for func, class_name in _class_map(tree).items():
+            if not is_generator(func):
+                continue
+            findings: List[Finding] = []
+            self._scan_body(func.body, class_name, filename, program, findings)
+            yield from findings
+
+    def refuted_spans(
+        self, tree: ast.Module, filename: str, program: Program
+    ) -> List[Tuple[str, int, int]]:
+        """SL401 reports this pass can *disprove*.
+
+        ``if rank == 0: yield from reduce_helper() else:
+        yield from comm.allreduce(...)`` trips the per-file SL401 (one
+        branch has no visible collective) — but once the helper expands,
+        the sequences match and every rank does make the same calls.
+        """
+        spans: List[Tuple[str, int, int]] = []
+        for func, class_name in _class_map(tree).items():
+            if not is_generator(func):
+                continue
+            for node in _body_nodes(func.body):
+                if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
+                    continue
+                body_direct, body_exp = self._expanded(
+                    node.body, class_name, filename, program
+                )
+                orelse_direct, orelse_exp = self._expanded(
+                    node.orelse, class_name, filename, program
+                )
+                if body_direct != orelse_direct and body_exp == orelse_exp:
+                    end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                    spans.append(("SL401", node.lineno, end))
+        return spans
+
+    # -- expansion ------------------------------------------------------------
+    def _expanded(
+        self,
+        stmts: Sequence[ast.stmt],
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+    ) -> Tuple[List[str], List[str]]:
+        """(direct collective kinds, transitively expanded kinds)."""
+        calls = [
+            n for n in _body_nodes(list(stmts)) if isinstance(n, ast.Call)
+        ]
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        direct: List[str] = []
+        expanded: List[str] = []
+        for call in calls:
+            kind = _collective_name(call)
+            if kind is not None:
+                direct.append(kind)
+                expanded.append(kind)
+                continue
+            key = program.resolve(filename, _call_spec(call, class_name), class_name)
+            if key is not None:
+                expanded.extend(program.classifier.collective_signature(key))
+        return direct, expanded
+
+    def _bearing_calls(
+        self,
+        stmts: Sequence[ast.stmt],
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+    ) -> Iterator[Tuple[ast.Call, str, Tuple[str, ...]]]:
+        """Resolved helper calls with non-empty collective signatures."""
+        for node in _body_nodes(list(stmts)):
+            if not isinstance(node, ast.Call) or _collective_name(node) is not None:
+                continue
+            key = program.resolve(filename, _call_spec(node, class_name), class_name)
+            if key is None:
+                continue
+            sig = program.classifier.collective_signature(key)
+            if sig:
+                yield node, key, sig
+
+    # -- recursive body scan ---------------------------------------------------
+    def _scan_body(
+        self,
+        stmts: Sequence[ast.stmt],
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+        findings: List[Finding],
+    ) -> Optional[int]:
+        partition_line: Optional[int] = None
+        for stmt in stmts:
+            if partition_line is not None:
+                for call, key, sig in self._bearing_calls(
+                    [stmt], class_name, filename, program
+                ):
+                    findings.append(_finding(
+                        self, "SL702", call, filename,
+                        f"helper '{_short(key)}' performs collective(s) "
+                        f"{list(sig)} but is unreachable for ranks that took "
+                        f"the rank-dependent return above (conditional at "
+                        f"line {partition_line}) — the job deadlocks",
+                    ))
+                continue
+            if isinstance(stmt, ast.If) and _mentions_rank(stmt.test):
+                partition_line = self._check_rank_if(
+                    stmt, class_name, filename, program, findings
+                )
+            else:
+                partition_line = self._scan_children(
+                    stmt, class_name, filename, program, findings
+                )
+        return partition_line
+
+    def _scan_children(
+        self,
+        stmt: ast.stmt,
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+        findings: List[Finding],
+    ) -> Optional[int]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        partition: Optional[int] = None
+        for fieldname in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, fieldname, None)
+            if inner:
+                p = self._scan_body(inner, class_name, filename, program, findings)
+                partition = partition or p
+        for handler in getattr(stmt, "handlers", []) or []:
+            p = self._scan_body(handler.body, class_name, filename, program, findings)
+            partition = partition or p
+        return partition
+
+    def _check_rank_if(
+        self,
+        stmt: ast.If,
+        class_name: Optional[str],
+        filename: str,
+        program: Program,
+        findings: List[Finding],
+    ) -> Optional[int]:
+        body_direct, body_exp = self._expanded(
+            stmt.body, class_name, filename, program
+        )
+        orelse_direct, orelse_exp = self._expanded(
+            stmt.orelse, class_name, filename, program
+        )
+        # when the *direct* sequences already differ SL401 reports it;
+        # SL701 fires only for asymmetry helper expansion reveals.
+        if body_direct == orelse_direct and body_exp != orelse_exp:
+            findings.append(_finding(
+                self, "SL701", stmt, filename,
+                f"rank-dependent branches at line {stmt.lineno} reach "
+                f"different collective sequences once helper calls are "
+                f"expanded ({body_exp or 'none'} vs {orelse_exp or 'none'}) "
+                f"— every rank must make the same collective calls",
+            ))
+        if _returns(list(stmt.body)) != _returns(list(stmt.orelse)):
+            return stmt.lineno
+        return None
+
+
+@register_program
+class UnitsFlowChecker:
+    """SL304–SL305: unit dataflow through resolved calls."""
+
+    family = "units"
+    rules = {
+        "SL304": "argument unit conflicts with the callee parameter's "
+        "(possibly propagated) unit",
+        "SL305": "assignment target suffix conflicts with the callee's "
+        "inferred return unit",
+    }
+
+    def check(
+        self, tree: ast.Module, filename: str, program: Program
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, filename, program)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(node, filename, program)
+
+    # -- helpers ---------------------------------------------------------------
+    def _context(self, filename: str, lineno: int, program: Program):
+        enclosing = program.enclosing_function(filename, lineno)
+        if enclosing is None:
+            return None, {}
+        key, info = enclosing
+        class_hint = info.qualname.split(".", 1)[0] if info.is_method else None
+        return class_hint, program.classifier.param_units.get(key, {})
+
+    def _arg_unit(self, node: ast.AST, local_units: Dict[str, str]) -> Optional[Tuple[str, str]]:
+        u = unit_of(node)
+        if u:
+            return u
+        if isinstance(node, ast.Name) and node.id in local_units:
+            return (node.id, local_units[node.id])
+        return None
+
+    @staticmethod
+    def _describe(sfx: str) -> str:
+        return UNIT_SUFFIXES[sfx][0] if sfx in UNIT_SUFFIXES else sfx
+
+    # -- SL304 -----------------------------------------------------------------
+    def _check_call(
+        self, call: ast.Call, filename: str, program: Program
+    ) -> Iterator[Finding]:
+        class_hint, local_units = self._context(filename, call.lineno, program)
+        key = program.resolve(filename, _call_spec(call, class_hint), class_hint)
+        if key is None:
+            return
+        info = program.table.function(key)
+        if info is None:
+            return
+        callee_units = program.classifier.param_units.get(key, {})
+        params = info.value_params
+        pairs: List[Tuple[str, ast.AST, bool]] = []
+        for i, arg in enumerate(call.args):
+            if i < len(params):
+                pairs.append((params[i], arg, False))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in info.params:
+                pairs.append((kw.arg, kw.value, True))
+        for pname, arg, is_kw in pairs:
+            param_sfx = callee_units.get(pname)
+            if param_sfx is None:
+                continue
+            arg_unit = self._arg_unit(arg, local_units)
+            if arg_unit is None or arg_unit[1] == param_sfx:
+                continue
+            if is_kw and suffix_of(pname) and unit_of(arg):
+                continue  # the per-file SL303 already reports this shape
+            yield _finding(
+                self, "SL304", arg, filename,
+                f"'{arg_unit[0]}' (unit _{arg_unit[1]}, "
+                f"{self._describe(arg_unit[1])}) flows into parameter "
+                f"'{pname}' of {_short(key)} (unit _{param_sfx}, "
+                f"{self._describe(param_sfx)}) — convert explicitly at "
+                f"the call site",
+            )
+
+    # -- SL305 -----------------------------------------------------------------
+    def _check_assign(
+        self, node: "ast.Assign | ast.AnnAssign", filename: str, program: Program
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                return
+            target = node.targets[0]
+        else:
+            target = node.target
+        if not isinstance(target, ast.Name):
+            return
+        target_sfx = suffix_of(target.id)
+        if target_sfx is None or node.value is None:
+            return
+        value = node.value
+        if isinstance(value, (ast.YieldFrom, ast.Await)):
+            value = value.value
+        if not isinstance(value, ast.Call):
+            return
+        class_hint, _ = self._context(filename, node.lineno, program)
+        key = program.resolve(filename, _call_spec(value, class_hint), class_hint)
+        if key is None:
+            return
+        ret = program.classifier.return_units.get(key)
+        if ret is None or ret == target_sfx:
+            return
+        yield _finding(
+            self, "SL305", node, filename,
+            f"'{target.id}' (unit _{target_sfx}) is assigned the result of "
+            f"{_short(key)}, which returns _{ret} "
+            f"({self._describe(ret)}) — convert explicitly or rename",
+        )
+
+
+def _finding(checker, rule, node, filename, msg, fix=None) -> Finding:
+    return Finding(
+        rule=rule,
+        family=checker.family,
+        path=filename,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=msg,
+        fix=fix,
+    )

@@ -1,0 +1,34 @@
+"""Deliberate SL7xx violations: collective matching through helpers."""
+
+
+def do_reduce(comm, value):
+    total = yield from comm.allreduce(value)
+    return total
+
+
+def do_barrier(comm):
+    yield from comm.barrier()
+
+
+def unbalanced(comm):
+    # Both branches look collective-free to the per-file SL401, but the
+    # helpers expand to different sequences.
+    if comm.rank == 0:  # SL701
+        yield from do_reduce(comm, 1)
+    else:
+        yield from do_barrier(comm)
+
+
+def early_exit(comm):
+    if comm.rank == 0:
+        return None
+    yield from do_reduce(comm, 1)  # SL702: only the surviving ranks reduce
+
+
+def balanced(comm):
+    # Per-file SL401 would flag this (one branch has no visible
+    # collective) — helper expansion proves both branches allreduce.
+    if comm.rank == 0:
+        yield from do_reduce(comm, 1)
+    else:
+        yield from comm.allreduce(2)

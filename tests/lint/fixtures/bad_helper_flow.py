@@ -1,0 +1,18 @@
+"""Deliberate SL6xx violations: yield-from discipline through helpers."""
+
+
+def transfer(comm, n_bytes):
+    ack = yield from comm.send(dest=1, tag=0, n_bytes=n_bytes)
+    return ack
+
+
+def main(comm):
+    transfer(comm, 1024)  # SL601: result discarded, operation never runs
+    got = transfer(comm, 2048)  # SL602: binds a generator object
+    yield transfer(comm, 4096)  # SL603: yields a generator, not a command
+    return transfer(comm, 64)  # SL602: returns the generator itself
+
+
+def ok(comm):
+    result = yield from transfer(comm, 512)
+    return result

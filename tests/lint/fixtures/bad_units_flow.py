@@ -1,0 +1,21 @@
+"""Deliberate SL304/SL305 violations: unit dataflow through calls."""
+
+
+def wait(delay_us):
+    return delay_us
+
+
+def relay(amount):
+    # 'amount' has no suffix; it inherits _us from the call below.
+    return wait(amount)
+
+
+def link_speed_gbs(machine):
+    return machine.nic.bw_gbs
+
+
+def run(machine, window_gbs):
+    wait(window_gbs)  # SL304: _gbs flows into the _us parameter
+    relay(window_gbs)  # SL304: same conflict, one hop removed
+    t_us = link_speed_gbs(machine)  # SL305: _us target, _gbs return
+    return t_us

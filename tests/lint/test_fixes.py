@@ -1,0 +1,133 @@
+"""Autofix engine: per-rule repairs, convergence, CLI --fix/--write."""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import apply_fixes, lint_file, lint_source
+from repro.lint.fixes import FIXABLE_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _fix_source(src, filename="src/x.py"):
+    findings = lint_source(src, filename)
+    fixed, applied = apply_fixes(src, findings)
+    return fixed, applied
+
+
+# -- per-rule repairs ---------------------------------------------------------
+
+def test_fix_sl101_inserts_yield_from():
+    fixed, applied = _fix_source(
+        "def p(comm):\n    comm.send(dest=1, tag=0, n_bytes=n)\n    yield 1\n"
+    )
+    assert "    yield from comm.send(" in fixed
+    assert [f.rule for f in applied] == ["SL101"]
+
+
+def test_fix_sl203_wraps_set_iteration_in_sorted():
+    fixed, applied = _fix_source(
+        "def p(items):\n    for x in {1, 2}:\n        yield x\n"
+    )
+    assert "for x in sorted({1, 2}):" in fixed
+    assert [f.rule for f in applied] == ["SL203"]
+
+
+def test_fix_sl501_wraps_hold_in_try_finally():
+    src = (
+        "def p(res):\n"
+        "    yield res.request()\n"
+        "    yield Delay(1.0)\n"
+        "    res.release()\n"
+    )
+    fixed, applied = _fix_source(src)
+    assert [f.rule for f in applied] == ["SL501"]
+    assert "    try:\n" in fixed
+    assert "    finally:\n" in fixed
+    assert "        res.release()" in fixed
+
+
+def test_fix_sl601_and_sl603_on_helper_flow_fixture():
+    src = (FIXTURES / "bad_helper_flow.py").read_text()
+    findings = lint_file(FIXTURES / "bad_helper_flow.py")
+    fixed, applied = apply_fixes(src, findings)
+    assert {f.rule for f in applied} == {"SL601", "SL602", "SL603"}
+    assert "    yield from transfer(comm, 1024)" in fixed
+    assert "    got = yield from transfer(comm, 2048)" in fixed
+    assert "    yield from transfer(comm, 4096)" in fixed
+    assert "    return (yield from transfer(comm, 64))" in fixed
+
+
+def test_unfixable_rules_carry_no_fix():
+    findings = lint_file(FIXTURES / "bad_units.py")
+    assert findings and all(f.fix is None for f in findings)
+    assert not {f.rule for f in findings} & FIXABLE_RULES
+
+
+# -- convergence --------------------------------------------------------------
+
+def test_fixture_autofixes_converge():
+    for name in ("bad_yieldfrom.py", "bad_helper_flow.py"):
+        src = (FIXTURES / name).read_text()
+        findings = lint_file(FIXTURES / name)
+        fixed, applied = apply_fixes(src, findings)
+        assert applied, name
+        # the fixed source no longer produces any fixable finding
+        refindings = lint_source(fixed, f"src/{name}")
+        assert not [f for f in refindings if f.fix is not None], name
+        # and a second round is a no-op
+        refixed, reapplied = apply_fixes(fixed, refindings)
+        assert refixed == fixed and reapplied == [], name
+
+
+def test_overlapping_fixes_apply_one_round_at_a_time():
+    # two findings repairing the same call can't both land; the engine
+    # keeps the first and the next run mops up the rest
+    src = "def p(comm):\n    yield comm.send(dest=1, tag=0, n_bytes=n)\n"
+    findings = lint_source(src, "src/x.py")
+    fixed, applied = apply_fixes(src, findings)
+    assert len(applied) >= 1
+    assert "yield from comm.send(" in fixed
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _run_cli(*args, cwd=None):
+    root = Path(__file__).parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or root,
+        env=env,
+    )
+
+
+def test_cli_fix_previews_diff_without_writing(tmp_path):
+    target = tmp_path / "bad_yieldfrom.py"
+    shutil.copy(FIXTURES / "bad_yieldfrom.py", target)
+    before = target.read_text()
+    out = _run_cli(str(target), "--fix", "--no-cache")
+    assert out.returncode == 1
+    assert out.stdout.startswith("---")
+    assert "+    yield from" in out.stdout
+    assert "would fix" in out.stderr
+    assert target.read_text() == before
+
+
+def test_cli_fix_write_applies_and_second_run_is_empty(tmp_path):
+    target = tmp_path / "bad_helper_flow.py"
+    shutil.copy(FIXTURES / "bad_helper_flow.py", target)
+    first = _run_cli(str(target), "--fix", "--write", "--no-cache")
+    assert "fixed 4 of 4" in first.stderr
+    assert first.returncode == 0
+    # idempotence: nothing left to fix, empty diff
+    second = _run_cli(str(target), "--fix", "--no-cache")
+    assert second.returncode == 0
+    assert "would fix 0 of 0" in second.stderr
+    assert "---" not in second.stdout

@@ -1,0 +1,170 @@
+"""Interprocedural pass: SL6xx / SL7xx / SL304-305, resolution, refutation."""
+
+from pathlib import Path
+
+from repro.lint import lint_file
+from repro.lint.callgraph import module_name_for
+from repro.lint.program import Program
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f)
+    return out
+
+
+# -- helper-flow (SL6xx) ------------------------------------------------------
+
+def test_helper_flow_fixture_rules_and_lines():
+    rules = by_rule(lint_file(FIXTURES / "bad_helper_flow.py"))
+    assert [f.line for f in rules["SL601"]] == [10]
+    assert [f.line for f in rules["SL602"]] == [11, 13]
+    assert [f.line for f in rules["SL603"]] == [12]
+    assert sum(len(v) for v in rules.values()) == 4
+    assert all(f.family == "helper-flow" for v in rules.values() for f in v)
+
+
+def test_helper_flow_correct_consumption_stays_silent():
+    findings = lint_file(FIXTURES / "bad_helper_flow.py")
+    # ok() at the bottom consumes transfer() with yield from
+    assert not {f.line for f in findings} & {17, 18}
+
+
+# -- collective-flow (SL7xx) --------------------------------------------------
+
+def test_collective_flow_fixture_rules_and_lines():
+    rules = by_rule(lint_file(FIXTURES / "bad_collective_flow.py"))
+    assert [f.line for f in rules["SL701"]] == [16]
+    assert [f.line for f in rules["SL702"]] == [25]
+    assert sum(len(v) for v in rules.values()) == 2
+
+
+def test_expansion_refutes_per_file_collective_guard():
+    # balanced(): SL401 fires per-file (one branch has no visible
+    # collective) but helper expansion proves the sequences equal, so the
+    # program pass disproves it.
+    findings = lint_file(FIXTURES / "bad_collective_flow.py")
+    assert not [f for f in findings if f.rule == "SL401"]
+    assert not [f for f in findings if f.line >= 28]
+
+
+# -- units dataflow (SL304/305) -----------------------------------------------
+
+def test_units_flow_fixture_rules_and_lines():
+    rules = by_rule(lint_file(FIXTURES / "bad_units_flow.py"))
+    assert [f.line for f in rules["SL304"]] == [18, 19]
+    assert [f.line for f in rules["SL305"]] == [20]
+    assert sum(len(v) for v in rules.values()) == 3
+
+
+def test_units_propagate_through_unsuffixed_parameter():
+    findings = lint_file(FIXTURES / "bad_units_flow.py")
+    via_relay = [f for f in findings if f.rule == "SL304" and f.line == 19]
+    assert len(via_relay) == 1
+    assert "'amount' of relay" in via_relay[0].message
+
+
+# -- cross-module resolution --------------------------------------------------
+
+HELPERS = """\
+def pump(comm, n_bytes):
+    yield from comm.send(dest=1, tag=0, n_bytes=n_bytes)
+"""
+
+CALLER = """\
+from proj.helpers import pump
+
+
+def main(comm):
+    pump(comm, 1024)
+    yield from comm.barrier()
+"""
+
+
+def test_cross_module_helper_resolution():
+    program = Program.from_sources({
+        "src/proj/helpers.py": HELPERS,
+        "src/proj/driver.py": CALLER,
+    })
+    findings = program.lint_file("src/proj/driver.py")
+    assert [f.rule for f in findings] == ["SL601"]
+    assert "pump(...)" in findings[0].message
+
+
+def test_reexport_chase_resolves_through_package_init():
+    program = Program.from_sources({
+        "src/proj/helpers.py": HELPERS,
+        "src/proj/__init__.py": "from proj.helpers import pump\n",
+        "src/proj/driver.py": (
+            "from proj import pump\n\n\n"
+            "def main(comm):\n"
+            "    pump(comm, 1024)\n"
+            "    yield from comm.barrier()\n"
+        ),
+    })
+    findings = program.lint_file("src/proj/driver.py")
+    assert [f.rule for f in findings] == ["SL601"]
+
+
+def test_self_method_resolution():
+    src = (
+        "class Worker:\n"
+        "    def _move(self, comm, size_bytes):\n"
+        "        yield from comm.send(dest=1, tag=0, n_bytes=size_bytes)\n"
+        "\n"
+        "    def run(self, comm, size_bytes):\n"
+        "        self._move(comm, size_bytes)\n"
+        "        yield from comm.barrier()\n"
+    )
+    program = Program.from_sources({"src/proj/worker.py": src})
+    findings = program.lint_file("src/proj/worker.py")
+    assert [(f.rule, f.line) for f in findings] == [("SL601", 6)]
+    assert "Worker._move" in findings[0].message
+
+
+def test_unresolved_dynamic_dispatch_stays_silent():
+    src = (
+        "def main(comm, registry):\n"
+        "    registry.lookup('x')(comm)\n"
+        "    yield from comm.barrier()\n"
+    )
+    program = Program.from_sources({"src/proj/dyn.py": src})
+    assert program.lint_file("src/proj/dyn.py") == []
+
+
+# -- program plumbing ---------------------------------------------------------
+
+def test_module_name_for_strips_src_root():
+    assert module_name_for("src/repro/mpi/comm.py") == "repro.mpi.comm"
+    assert module_name_for("tests/lint/test_program.py") == (
+        "tests.lint.test_program"
+    )
+    assert module_name_for("src/repro/__init__.py") == "repro"
+
+
+def test_enclosing_function_finds_innermost():
+    src = (
+        "class C:\n"
+        "    def outer_us(self):\n"
+        "        return 1\n"
+        "\n\n"
+        "def top():\n"
+        "    return 2\n"
+    )
+    program = Program.from_sources({"src/proj/enc.py": src})
+    key, info = program.enclosing_function("src/proj/enc.py", 3)
+    assert key.endswith(":C.outer_us") and info.qualname == "C.outer_us"
+    key, info = program.enclosing_function("src/proj/enc.py", 7)
+    assert info.qualname == "top"
+    assert program.enclosing_function("src/proj/enc.py", 5) is None
+
+
+def test_stats_count_parses():
+    program = Program.from_sources({"src/proj/a.py": "x = 1\n"})
+    program.lint_file("src/proj/a.py")
+    assert program.stats["files"] == 1
+    assert program.stats["parsed"] == 1
+    assert program.parsed_paths() == ["src/proj/a.py"]

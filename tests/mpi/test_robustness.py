@@ -52,7 +52,7 @@ def test_resource_released_when_holder_interrupted():
             order.append(("interrupted", sim.now))
 
     def waiter():
-        yield res.request()
+        yield res.request()  # simlint: ignore[SL501] — interrupt robustness is under test
         order.append(("acquired", sim.now))
         res.release()
 

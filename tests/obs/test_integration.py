@@ -102,7 +102,7 @@ def test_resource_queue_counters_track_contention():
     res = Resource(sim, 1, name="gate")
 
     def user(hold):
-        yield res.request()
+        yield res.request()  # simlint: ignore[SL501] — tracer sees the bare hold on purpose
         try:
             from repro.simengine import Delay
 

@@ -6,6 +6,9 @@ engine's bookkeeping exact (no leaked slots, no stale wakeups, no
 stretched clock). These are the failure modes the fault-injection layer
 leans on.
 """
+# Holders here deliberately omit try/finally: interrupt delivery into
+# a bare hold is exactly what these tests exercise.
+# simlint: ignore-file[SL501]
 
 import pytest
 
@@ -343,7 +346,7 @@ def test_retry_backs_off_deterministically_then_succeeds():
 
     def proc():
         result = yield from retry(
-            flaky, attempts=4, base_backoff_s=1.0, backoff_factor=2.0
+            flaky, attempts=4, base_backoff_s=1.0, backoff_factor=2.0  # simlint: ignore[SL303] — backoff is the test vector
         )
         return result
 
@@ -364,7 +367,7 @@ def test_retry_exhaustion_chains_last_error():
 
     def proc():
         try:
-            yield from retry(always_fails, attempts=3, base_backoff_s=0.1)
+            yield from retry(always_fails, attempts=3, base_backoff_s=0.1)  # simlint: ignore[SL303] — backoff is the test vector
         except RetryExhausted as exc:
             failures["attempts"] = exc.attempts
             failures["cause"] = str(exc.__cause__)

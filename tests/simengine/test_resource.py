@@ -1,4 +1,7 @@
 """Tests for Resource and Store."""
+# FIFO grant-order tests use minimal holders without try/finally on
+# purpose; no interrupts are in play.
+# simlint: ignore-file[SL501]
 
 import pytest
 

@@ -54,7 +54,7 @@ def test_mismatched_collective_reports_blocked_ranks_and_stores():
         if comm.rank == 0:  # simlint: ignore[collective] — deliberate bug under test
             data = yield from comm.recv(source=1, tag=99)  # never sent
             return data
-        total = yield from comm.allreduce(comm.rank)
+        total = yield from comm.allreduce(comm.rank)  # simlint: ignore[SL402] — deliberate bug under test
         return total
 
     with pytest.raises(SimDeadlockError) as exc:
@@ -125,7 +125,7 @@ def test_leaked_resource_slot_is_reported():
     res = Resource(sim, capacity=2, name="nic-port")
 
     def leaker():
-        yield res.request()
+        yield res.request()  # simlint: ignore[SL501] — the leak is the subject under test
         yield Delay(1.0)
         # missing res.release()
 

@@ -1,20 +1,24 @@
-"""Guard: the source tree stays simlint-clean.
+"""Guard: the whole tree stays simlint-clean.
 
 Any finding here is either a real simulation-correctness bug (fix it) or
-a documented false positive (suppress with ``# simlint: ignore[RULE]``
-and a justification comment). See docs/LINT.md.
+a documented false positive (suppress with ``# simlint: ignore[RULE]`` /
+``# simlint: ignore-file[RULE]`` and a justification comment). See
+docs/LINT.md. Fixture directories carry deliberate violations and are
+excluded by the default path expansion.
 """
 
 from pathlib import Path
 
 from repro.lint import lint_paths
 
-SRC = Path(__file__).parents[1] / "src"
+ROOT = Path(__file__).parents[1]
+SCOPE = [ROOT / "src", ROOT / "tests", ROOT / "examples", ROOT / "benchmarks"]
 
 
-def test_source_tree_is_simlint_clean():
-    findings = lint_paths([SRC])
+def test_tree_is_simlint_clean():
+    paths = [p for p in SCOPE if p.is_dir()]
+    findings = lint_paths(paths)
     assert not findings, (
-        f"{len(findings)} simlint finding(s) in src/:\n"
+        f"{len(findings)} simlint finding(s):\n"
         + "\n".join(str(f) for f in findings)
     )
