@@ -29,7 +29,13 @@ families that see through project-defined helpers:
 * ``collective-flow`` (SL701–SL702) — collective matching across helper
   calls under rank-dependent control flow;
 * ``units`` (SL304–SL305) — unit dataflow into resolved callee
-  parameters and out of inferred return units.
+  parameters and out of inferred return units;
+* ``schedule-race`` (SL801–SL804, :mod:`repro.simrace.rules`) — static
+  order-dependence patterns: unkeyed same-timestamp scheduling,
+  unordered-container iteration feeding the schedule, unsynchronized
+  shared writes across process methods, RNG stream aliasing. The
+  dynamic counterpart is ``repro race`` (:mod:`repro.simrace`), whose
+  divergence findings surface as rule SL850.
 
 Run it as ``python -m repro.lint [paths]``, ``repro-lint`` or
 ``repro lint``; suppress a deliberate violation with
@@ -64,6 +70,7 @@ from repro.lint import check_resource_safety  # noqa: F401
 from repro.lint import check_units  # noqa: F401
 from repro.lint import check_yieldfrom  # noqa: F401
 from repro.lint import program  # noqa: F401  (interprocedural checkers)
+from repro.simrace import rules as _simrace_rules  # noqa: F401  (SL8xx)
 
 from repro.lint.cache import LintCache
 from repro.lint.fixes import apply_fixes, fix_files

@@ -34,6 +34,7 @@ from repro.lint.core import (
     all_checkers,
     expand_paths,
     known_selectors,
+    matching_rules,
 )
 from repro.lint.fixes import fix_files
 from repro.lint.formats import FORMATS, render
@@ -58,7 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids / families to report (default: all)",
+        help="comma-separated rule ids, families, or rule-id prefixes "
+        "like SL8 to report (default: all)",
     )
     parser.add_argument(
         "--exclude",
@@ -119,8 +121,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     wanted = None
     if args.select:
-        wanted = {tok.strip() for tok in args.select.split(",") if tok.strip()}
-        unknown = wanted - known_selectors()
+        tokens = {tok.strip() for tok in args.select.split(",") if tok.strip()}
+        known = known_selectors()
+        wanted = set()
+        unknown = set()
+        for tok in tokens:
+            if tok in known:
+                wanted.add(tok)
+                continue
+            expanded = matching_rules(tok)  # prefix selector, e.g. SL8
+            if expanded:
+                wanted |= expanded
+            else:
+                unknown.add(tok)
         if unknown:
             # A typo'd selector must not silently report "clean".
             print(

@@ -219,6 +219,22 @@ def known_selectors() -> Set[str]:
     return known
 
 
+_RULE_PREFIX_RE = re.compile(r"^SL\d{1,2}$")
+
+
+def matching_rules(token: str) -> Set[str]:
+    """Rule ids selected by a rule-id *prefix* token.
+
+    ``--select SL8`` selects every registered ``SL8xx`` rule (``SL80``
+    would select only ``SL80x``). Returns the empty set when ``token``
+    is not a rule prefix or matches nothing — exact ids and family
+    names are handled by :func:`known_selectors`.
+    """
+    if not _RULE_PREFIX_RE.match(token):
+        return set()
+    return {rule for rule in all_rules() if rule.startswith(token)}
+
+
 # -- suppression -----------------------------------------------------------
 
 _COMPOUND_STMTS = (

@@ -85,9 +85,15 @@ class Comm:
         self._check_peer(dest)
         n = payload_nbytes(obj) if nbytes is None else int(nbytes)
         done = self.job.sim.event(name=f"isend {self.rank}->{dest}")
+        # The tie-break key makes same-time transfer wakeups — and hence
+        # NIC/link arbitration among simultaneous messages — follow rank
+        # order deterministically instead of queue insertion order, which
+        # is a schedule race (two exchanging pairs in VN mode would
+        # otherwise pipeline differently per tie-break permutation).
         self.job.sim.spawn(
             self._transfer(obj, dest, tag, n, done),
             name=f"xfer {self.rank}->{dest}",
+            key=f"xfer:{self.rank:06d}->{dest:06d}",
         )
         return Request(done)
 

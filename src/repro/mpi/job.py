@@ -155,6 +155,11 @@ class MPIJob:
             for rank in (src_rank, dst_rank):
                 node = p.node_of(rank)
                 last = self._node_last_tx.get(node)
+                # Same-time activity counts: simultaneous injection from
+                # the sharing core pays the interrupt surcharge too. The
+                # pricing order among same-time messages is pinned by the
+                # transfer processes' tie-break keys (Comm.isend), so
+                # this read-then-note sequence is schedule-invariant.
                 if last is not None and now - last <= _ACTIVITY_WINDOW_S:
                     contended = 1.0
                     break

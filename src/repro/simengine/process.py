@@ -33,13 +33,26 @@ class Process:
     it and receive its return value.
     """
 
-    __slots__ = ("sim", "name", "_gen", "done", "_waiting_on",
+    __slots__ = ("sim", "name", "key", "_gen", "done", "_waiting_on",
                  "_life_span", "_wait_span", "_epoch", "_waiting_event",
                  "_wait_handle")
 
-    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = "") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+        key: Optional[str] = None,
+    ) -> None:
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
+        #: Optional deterministic tie-break key: every wakeup this process
+        #: schedules is pinned to fire in ``str(key)`` order among
+        #: same-time keyed entries, ahead of unkeyed ones — immune to
+        #: tie-break permutation (see :mod:`repro.simengine.queue`). Give
+        #: mutually-racing processes distinct keys to make their
+        #: interleaving schedule-invariant.
+        self.key = key
         self._gen = gen
         #: Event triggered with the generator's return value on completion.
         self.done: Event = Event(sim, name=f"{self.name}.done")
@@ -68,7 +81,7 @@ class Process:
             self.done.add_callback(self._end_life_span)
         # First step happens via the scheduler so that spawn() during a
         # callback cascade preserves deterministic ordering.
-        sim._queue.push(sim.now, lambda: self._step(None))
+        sim._queue.push(sim.now, lambda: self._step(None), key=key)
         sim._register_process(self)
 
     # -- public ----------------------------------------------------------
@@ -87,7 +100,9 @@ class Process:
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.alive:
             return
-        self.sim._queue.push(self.sim.now, lambda: self._throw(Interrupt(cause)))
+        self.sim._queue.push(
+            self.sim.now, lambda: self._throw(Interrupt(cause)), key=self.key
+        )
 
     def kill(self) -> None:
         """Terminate the process; its ``done`` event fails with ProcessKilled."""
@@ -153,7 +168,8 @@ class Process:
         if isinstance(command, Delay):
             self._waiting_on = f"Delay({command.dt:g})"
             self._wait_handle = sim._queue.push(
-                sim.now + command.dt, lambda: self._resume(epoch, None)
+                sim.now + command.dt, lambda: self._resume(epoch, None),
+                key=self.key,
             )
         elif isinstance(command, Event):
             self._waiting_on = command.name or "<anonymous event>"
@@ -173,7 +189,7 @@ class Process:
         elif command is None:
             # ``yield`` with no argument: cooperative reschedule "now".
             self._wait_handle = sim._queue.push(
-                sim.now, lambda: self._resume(epoch, None)
+                sim.now, lambda: self._resume(epoch, None), key=self.key
             )
         else:
             raise TypeError(
@@ -207,7 +223,9 @@ class Process:
     def _wait_all(self, barrier: AllOf, epoch: int) -> None:
         events = [e.done if isinstance(e, Process) else e for e in barrier.events]
         if not events:
-            self.sim._queue.push(self.sim.now, lambda: self._resume(epoch, []))
+            self.sim._queue.push(
+                self.sim.now, lambda: self._resume(epoch, []), key=self.key
+            )
             return
         remaining = {"n": len(events)}
 

@@ -1,4 +1,25 @@
-"""Pending-event priority queue with deterministic tie-breaking."""
+"""Pending-event priority queue with deterministic tie-breaking.
+
+Entries at the same timestamp are ordered by a three-level rule:
+
+1. **keyed** entries (``push(..., key="...")``) fire before unkeyed ones,
+   in lexicographic key order — an *explicit* tie-break that stays fixed
+   under any permutation seed (the SL801 autofix inserts these);
+2. **unkeyed** entries fire in insertion order (the monotone sequence
+   number) — the historical FIFO behaviour;
+3. under an installed **permutation seed** (:func:`set_tie_break_seed`),
+   unkeyed entries are reordered *across* scheduling parents while
+   insertion order is preserved *within* each parent. Program order —
+   two pushes made by the same executing event — is a real
+   happens-before edge and must survive; the relative order of events
+   scheduled by unrelated parents is exactly the arbitrariness the
+   ``repro race`` certifier (see :mod:`repro.simrace`) shakes.
+
+Every entry records the ``seq`` of the entry that was executing when it
+was pushed (``parent``; ``-1`` for pushes outside the run loop), which is
+the scheduled-by edge of the happens-before relation used by
+``Simulator(sanitize="race")``.
+"""
 
 from __future__ import annotations
 
@@ -6,22 +27,74 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+#: Installed tie-break permutation seed (``None`` = identity order).
+#: Module-global like the installed tracer, so a seed installed by
+#: ``repro race`` reaches simulators constructed deep inside drivers.
+_PERM_SEED: Optional[int] = None
+
+
+def set_tie_break_seed(seed: Optional[int]) -> Optional[int]:
+    """Install a tie-break permutation seed; returns the previous one.
+
+    ``None`` restores the identity order (pure insertion order among
+    unkeyed same-time entries). Prefer the
+    :func:`repro.simrace.tie_break_permutation` context manager, which
+    restores the previous seed automatically.
+    """
+    global _PERM_SEED
+    previous = _PERM_SEED
+    _PERM_SEED = None if seed is None else int(seed)
+    return previous
+
+
+def tie_break_seed() -> Optional[int]:
+    """The installed tie-break permutation seed, or ``None``."""
+    return _PERM_SEED
+
+
+def _mix(seed: int, parent: int) -> int:
+    """Stable 64-bit mix of (seed, parent group) — splitmix64 finalizer."""
+    x = (seed * 0x9E3779B97F4A7C15 + (parent + 1) * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
 
 class _Entry:
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "parent", "rank", "callback", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], Any]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        key: Optional[str],
+        parent: int,
+    ) -> None:
         self.time = time
         self.seq = seq
+        self.parent = parent
         self.callback = callback
         self.cancelled = False
+        if key is not None:
+            # Explicitly keyed: pinned order, immune to permutation.
+            self.rank: tuple = (0, str(key), seq)
+        elif _PERM_SEED is None:
+            self.rank = (1, "", seq, seq)
+        else:
+            # Permute across parents, keep FIFO within a parent.
+            self.rank = (1, "", _mix(_PERM_SEED, parent), seq)
 
     def __lt__(self, other: "_Entry") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.rank) < (other.time, other.rank)
 
 
 class EventQueue:
-    """Min-heap of timed callbacks; FIFO among equal timestamps.
+    """Min-heap of timed callbacks; deterministic among equal timestamps.
 
     Entries may be cancelled lazily: :meth:`cancel` marks the entry and
     :meth:`pop` skips cancelled entries, so cancellation is O(1).
@@ -31,6 +104,9 @@ class EventQueue:
         self._heap: List[_Entry] = []
         self._counter = itertools.count()
         self._live = 0
+        # seq of the most recently popped entry: the scheduling parent of
+        # every push made while its callback runs (-1 before the first pop).
+        self._current_seq = -1
 
     def __len__(self) -> int:
         return self._live
@@ -38,9 +114,19 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
-    def push(self, time: float, callback: Callable[[], Any]) -> _Entry:
-        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
-        entry = _Entry(time, next(self._counter), callback)
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        key: Optional[str] = None,
+    ) -> _Entry:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle.
+
+        ``key`` pins the entry's order among same-time entries (keyed
+        entries fire first, in key order) independent of any installed
+        tie-break permutation.
+        """
+        entry = _Entry(time, next(self._counter), callback, key, self._current_seq)
         heapq.heappush(self._heap, entry)
         self._live += 1
         return entry
@@ -56,20 +142,30 @@ class EventQueue:
         self._drop_cancelled()
         return self._heap[0].time if self._heap else None
 
-    def pop(self) -> Tuple[float, Callable[[], Any]]:
-        """Remove and return ``(time, callback)`` of the earliest live entry."""
+    def pop_entry(self) -> _Entry:
+        """Remove and return the earliest live entry.
+
+        Also marks it as the current scheduling parent: pushes made while
+        its callback runs record this entry's ``seq`` as their ``parent``.
+        """
         self._drop_cancelled()
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
         entry = heapq.heappop(self._heap)
         self._live -= 1
+        self._current_seq = entry.seq
+        return entry
+
+    def pop(self) -> Tuple[float, Callable[[], Any]]:
+        """Remove and return ``(time, callback)`` of the earliest live entry."""
+        entry = self.pop_entry()
         return entry.time, entry.callback
 
     def shift_all(self, delta: float) -> None:
         """Postpone every pending entry by ``delta`` seconds.
 
-        A uniform shift preserves both the heap invariant and the FIFO
-        tie-breaking sequence numbers, so no re-heapify is needed. Used by
+        A uniform shift preserves both the heap invariant and the
+        tie-breaking ranks, so no re-heapify is needed. Used by
         :meth:`~repro.simengine.simulator.Simulator.freeze` to model a
         global machine pause (coordinated checkpoint, crash recovery).
         """

@@ -69,6 +69,9 @@ class Resource:
         withdrawn automatically (via the event's abandon hook), so a slot
         is never handed to a process that can no longer consume it.
         """
+        race = self.sim.race
+        if race is not None:
+            race.touch(self, "resource", self.name, "request")
         evt = self.sim.event(name=f"{self.name}.grant")
         evt.on_abandon(self._abandon_waiter)
         tracer = self._tracer
@@ -124,6 +127,9 @@ class Resource:
         release must match an outstanding grant, and occupancy can never
         exceed capacity.
         """
+        race = self.sim.race
+        if race is not None:
+            race.touch(self, "resource", self.name, "release")
         if self._in_use <= 0:
             raise RuntimeError(f"release() of idle resource {self.name!r}")
         if self._in_use > self.capacity:  # pragma: no cover - defensive
@@ -196,6 +202,9 @@ class Store:
 
     def put(self, item: Any) -> None:
         """Deposit ``item``; wakes the first compatible waiting getter."""
+        race = self.sim.race
+        if race is not None:
+            race.touch(self, "store", self.name, "put")
         for idx, (evt, match) in enumerate(self._getters):
             if match is None or match(item):
                 del self._getters[idx]
@@ -210,6 +219,9 @@ class Store:
         get is withdrawn (via the event's abandon hook) so a later ``put``
         cannot hand an item to a process that will never consume it.
         """
+        race = self.sim.race
+        if race is not None:
+            race.touch(self, "store", self.name, "get")
         evt = self.sim.event(name=f"{self.name}.get")
         evt.on_abandon(self._abandon_getter)
         for idx, item in enumerate(self._items):

@@ -38,6 +38,31 @@ class ResourceLeakError(RuntimeError):
     but a :class:`~repro.simengine.resource.Resource` still holds slots."""
 
 
+class ScheduleRaceError(RuntimeError):
+    """Raised by ``Simulator(sanitize="race")`` when two same-time events
+    with no happens-before path touch the same resource/store state.
+
+    Their relative order is then decided by queue tie-breaking alone, so
+    the model's results may silently depend on scheduler internals — the
+    exact property the hot-path rewrite must preserve. ``state`` names
+    the contended object; ``first`` and ``second`` carry both events'
+    provenances (seq, scheduling parent, callback)."""
+
+    def __init__(self, state: str, now: float, first: str, second: str) -> None:
+        self.state = state
+        self.now = now
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"schedule race at t={now:.9g}s on {state}:\n"
+            f"  {first}\n  {second}\n"
+            f"no happens-before path orders these same-time events — their "
+            f"relative order is queue tie-breaking. Constrain it (schedule "
+            f"key=..., an Event, a Resource hand-off) or make the accesses "
+            f"commutative."
+        )
+
+
 class Simulator:
     """Owns the clock and the pending-event queue.
 
@@ -63,10 +88,16 @@ class Simulator:
     * a **resource-conservation check** — if every process finished but a
       resource still has slots in use, :class:`ResourceLeakError` names
       the leaking resource (an acquire without a matching release).
+
+    ``sanitize="race"`` additionally turns on the schedule-race detector
+    (see :mod:`repro.simrace.hb`): every event records which event
+    scheduled it, and two same-time events that touch the same
+    resource/store state without a happens-before path raise
+    :class:`ScheduleRaceError` naming both provenances.
     """
 
     def __init__(
-        self, sanitize: bool = False, tracer: "Optional[Tracer]" = None
+        self, sanitize: "bool | str" = False, tracer: "Optional[Tracer]" = None
     ) -> None:
         self.now: float = 0.0
         self.sanitize = bool(sanitize)
@@ -80,6 +111,14 @@ class Simulator:
         #: default — untraced runs pay only ``is None`` checks).
         self.tracer = tracer
         self._queue = EventQueue()
+        #: Attached :class:`~repro.simrace.hb.RaceTracker`, or ``None``
+        #: (the default — race-free runs pay only ``is None`` checks).
+        self.race = None
+        if sanitize == "race":
+            # Deferred import: repro.simrace is a higher layer.
+            from repro.simrace.hb import RaceTracker
+
+            self.race = RaceTracker(self)
         self._running = False
         self._processes: List[Process] = []
         self._resources: "List[Resource]" = []
@@ -95,20 +134,48 @@ class Simulator:
         """Create a fresh pending :class:`Event` bound to this simulator."""
         return Event(self, name=name)
 
-    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
-        """Start a new process from generator ``gen``."""
-        return Process(self, gen, name=name)
+    def spawn(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+        key: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from generator ``gen``.
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> Any:
-        """Run ``callback()`` after ``delay`` sim-seconds; returns a handle."""
+        ``key`` pins every wakeup the process schedules to a
+        deterministic tie-break rank (see :meth:`schedule`): give
+        mutually-racing processes distinct keys and their same-time
+        interleaving becomes schedule-invariant.
+        """
+        return Process(self, gen, name=name, key=key)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        key: Optional[str] = None,
+    ) -> Any:
+        """Run ``callback()`` after ``delay`` sim-seconds; returns a handle.
+
+        ``key`` pins the callback's order among same-time events (keyed
+        events fire first, in lexicographic key order) — use it whenever
+        several callbacks land on the same timestamp and their relative
+        order matters (simlint SL801).
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self._queue.push(self.now + delay, callback)
+        return self._queue.push(self.now + delay, callback, key=key)
 
-    def timeout_event(self, delay: float, value: Any = None, name: str = "") -> Event:
+    def timeout_event(
+        self,
+        delay: float,
+        value: Any = None,
+        name: str = "",
+        key: Optional[str] = None,
+    ) -> Event:
         """An event that succeeds ``delay`` seconds from now with ``value``."""
         evt = self.event(name=name or f"timeout({delay})")
-        self.schedule(delay, lambda: evt.succeed(value))
+        self.schedule(delay, lambda: evt.succeed(value), key=key)
         return evt
 
     def cancel(self, handle: Any) -> None:
@@ -187,13 +254,16 @@ class Simulator:
                 if until is not None and t > until:
                     self.now = until
                     return self.now
-                time, callback = self._queue.pop()
+                entry = self._queue.pop_entry()
+                time = entry.time
                 if time < self.now - 1e-15:
                     raise RuntimeError(
                         f"time went backwards: {time} < {self.now}"
                     )
                 self.now = max(self.now, time)
-                callback()
+                if self.race is not None:
+                    self.race.begin_event(entry)
+                entry.callback()
                 processed += 1
                 if max_events and processed > max_events:
                     raise RuntimeError(f"exceeded max_events={max_events}")

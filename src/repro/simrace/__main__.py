@@ -1,0 +1,6 @@
+"""``python -m repro.simrace`` — direct entry point for ``repro race``."""
+
+from repro.simrace.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Happens-before tracking and schedule-race detection.
+
+The engine dispatches event callbacks *synchronously*: an
+:class:`~repro.simengine.event.Event` that succeeds steps its waiters
+inside the triggering callback, and a
+:class:`~repro.simengine.resource.Resource` hand-off grants the next
+waiter inside ``release()``. Every state access therefore happens during
+exactly one queue entry's execution, and the wake/wait and resource
+hand-off edges of the happens-before relation collapse onto the single
+**scheduled-by** edge each queue entry records (its ``parent`` — the
+entry executing when it was pushed; see
+:mod:`repro.simengine.queue`). The HB graph is a forest of parent
+pointers, and two events are ordered iff one is an ancestor of the
+other.
+
+:class:`RaceTracker` (attached by ``Simulator(sanitize="race")``)
+exploits that: it remembers, per contended object, which same-time
+events touched it, and when two touches have no ancestor path it raises
+:class:`~repro.simengine.simulator.ScheduleRaceError` with both events'
+provenances. Touches at different timestamps never race — the clock
+orders them — so the touch table resets whenever time advances, keeping
+the tracker O(live same-time activity).
+
+With a tracer attached the tracker also exports ``engine.race.*``
+counters (events begun, touches checked) and an instant span per
+detected race, so a Perfetto trace shows where the race fired.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.simengine.simulator import ScheduleRaceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simengine.queue import _Entry
+    from repro.simengine.simulator import Simulator
+
+__all__ = ["RaceTracker", "ScheduleRaceError"]
+
+
+def _label(callback: Any) -> str:
+    return getattr(callback, "__qualname__", None) or repr(callback)
+
+
+class RaceTracker:
+    """Per-simulator happens-before bookkeeping (``sanitize="race"``)."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: seq → (parent seq, time, callback label); grows with the run —
+        #: race mode is a development sanitizer, not a production mode.
+        self._nodes: Dict[int, Tuple[int, float, str]] = {}
+        #: id(state object) → same-time touches [(seq, op), ...].
+        self._touches: Dict[int, List[Tuple[int, str]]] = {}
+        self._touch_time: Optional[float] = None
+        self._current: Optional[int] = None
+        #: Same-time pairs checked for an HB path (test observability).
+        self.pairs_checked = 0
+        tracer = sim.tracer
+        self._ctr_events = (
+            tracer.counter("engine.race.events") if tracer is not None else None
+        )
+        self._ctr_touches = (
+            tracer.counter("engine.race.touches") if tracer is not None else None
+        )
+
+    # -- run-loop integration ----------------------------------------------
+    def begin_event(self, entry: "_Entry") -> None:
+        """Called by the run loop as ``entry``'s callback starts."""
+        self._nodes[entry.seq] = (entry.parent, entry.time, _label(entry.callback))
+        self._current = entry.seq
+        if entry.time != self._touch_time:
+            # The clock advanced: everything before happens-before us.
+            self._touches.clear()
+            self._touch_time = entry.time
+        if self._ctr_events is not None:
+            self._ctr_events.add(entry.time, 1)
+
+    # -- state access hooks -------------------------------------------------
+    def touch(self, obj: Any, kind: str, name: str, op: str) -> None:
+        """Record that the current event performed ``op`` on ``obj``.
+
+        Raises :class:`ScheduleRaceError` if another same-time event
+        already touched ``obj`` and no happens-before path orders the
+        two. Touches from outside the run loop (model setup before
+        ``run()``) are plain program order and are ignored.
+        """
+        current = self._current
+        if current is None:
+            return
+        if self._ctr_touches is not None:
+            self._ctr_touches.add(self._touch_time or 0.0, 1)
+        history = self._touches.setdefault(id(obj), [])
+        for prev_seq, prev_op in history:
+            if prev_seq == current:
+                continue
+            self.pairs_checked += 1
+            if not self._is_ancestor(prev_seq, current):
+                self._report(obj, kind, name, prev_seq, prev_op, current, op)
+        history.append((current, op))
+
+    # -- happens-before -----------------------------------------------------
+    def _is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``ancestor`` scheduled ``descendant`` (transitively).
+
+        Sequence numbers are monotone, so every ancestor's seq is
+        strictly smaller — the walk stops as soon as it passes below
+        ``ancestor``.
+        """
+        node = descendant
+        while node > ancestor:
+            info = self._nodes.get(node)
+            if info is None or info[0] < 0:
+                return False
+            node = info[0]
+        return node == ancestor
+
+    # -- reporting ----------------------------------------------------------
+    def _provenance(self, seq: int, op: str) -> str:
+        parent, time, label = self._nodes.get(seq, (-1, self.sim.now, "<unknown>"))
+        origin = f"scheduled by event #{parent}" if parent >= 0 else "scheduled at setup"
+        return f"event #{seq} ({label}, {origin}) {op} at t={time:.9g}s"
+
+    def _report(
+        self,
+        obj: Any,
+        kind: str,
+        name: str,
+        first_seq: int,
+        first_op: str,
+        second_seq: int,
+        second_op: str,
+    ) -> None:
+        state = f"{kind} {name!r}" if name else f"{kind} {obj!r}"
+        now = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "race", f"race:{kind}:{name or id(obj)}", now,
+                first=first_seq, second=second_seq,
+            )
+        raise ScheduleRaceError(
+            state,
+            now,
+            self._provenance(first_seq, first_op),
+            self._provenance(second_seq, second_op),
+        )

@@ -1,0 +1,49 @@
+"""Seeded permutation of the event queue's tie-breaking order.
+
+The certifier's core idea (after Cornebize & Legrand's "Variability
+Matters"): a model whose results are *schedule-invariant* must produce
+byte-identical output under every legal reordering of same-timestamp
+events. "Legal" preserves program order — two events pushed by the same
+executing event keep their relative order — while events scheduled by
+unrelated parents are shuffled per seed (the analogue of permuting
+thread interleavings). The identity (no seed installed) reproduces the
+historical insertion order exactly, so default runs stay bit-identical.
+
+The seed is installed process-globally (like the tracer) so that it
+reaches simulators constructed deep inside experiment drivers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.simengine import queue as _queue
+from repro.simengine.rng import DEFAULT_SEED
+
+__all__ = ["DEFAULT_SEED", "permutation_seeds", "tie_break_permutation"]
+
+
+@contextmanager
+def tie_break_permutation(seed: Optional[int]) -> Iterator[None]:
+    """Install a tie-break permutation seed for the enclosed block.
+
+    ``None`` is the identity permutation. Always restores the previously
+    installed seed, so certification runs can nest inside traced runs.
+    """
+    previous = _queue.set_tie_break_seed(seed)
+    try:
+        yield
+    finally:
+        _queue.set_tie_break_seed(previous)
+
+
+def permutation_seeds(base_seed: int = DEFAULT_SEED, k: int = 4) -> List[int]:
+    """``k`` deterministic permutation seeds derived from ``base_seed``.
+
+    Uses the queue's own 64-bit mixer so the derivation is stable across
+    platforms and needs no RNG state.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+    return [_queue._mix(int(base_seed), i) for i in range(k)]

@@ -1,0 +1,425 @@
+"""SL8xx — static schedule-race rules (family ``schedule-race``).
+
+The dynamic half of simrace (:mod:`repro.simrace.certify`) proves a
+driver's *published numbers* independent of event-queue tie-breaking;
+these rules catch the *patterns* that create such dependence before they
+ever run:
+
+* **SL801** — same-constant-delay ``schedule()`` / ``timeout_event()``
+  calls from *different* functions with no explicit ``key=``. Entries
+  pushed by one executing event keep program order under permutation
+  (per-parent FIFO), so same-function siblings are safe — but unrelated
+  handlers landing on the same timestamp are ordered only by queue
+  tie-breaking. Autofix: pin each call with a deterministic
+  ``key="<function>:<line>"``.
+* **SL802** — iteration over an unordered container (dict views, sets)
+  on a path that schedules events or consumes randomness. Dict views
+  iterate in insertion order — which, for tables populated *during* the
+  run (lazily-created links, process registries), is event order, i.e.
+  tie-break-dependent; sets iterate in hash order. Autofix (dict
+  ``.keys()`` / ``.items()``): wrap the iterable in ``sorted()``.
+* **SL803** — a ``self`` attribute written by two or more process
+  methods of one class with no interposed Resource/acquire edge in any
+  writer. Same-time activations of those processes are unordered, so
+  last-writer-wins is decided by tie-breaking.
+* **SL804** — the same RNG stream name forked
+  (:func:`repro.simengine.rng.fork` / ``seeded_rng(stream=...)``) in two
+  or more functions of one file. Aliased streams share one deterministic
+  sequence, so the *draw interleaving* across the consumers depends on
+  event order; distinct names keep every consumer's sequence private.
+
+**SL850** is declared here so renderers and ``--select`` know it, but it
+is only ever *emitted dynamically* by ``repro race --format sarif`` when
+a driver fails certification — no static pattern triggers it.
+
+Scope note: every rule is per-file (SL801/SL803 see through the
+whole-program classifier but only report patterns within the module
+under analysis). That keeps findings valid under the lint cache's
+file + import-closure key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.lint.callgraph import _call_spec
+from repro.lint.core import Fix, Finding, call_name, insert, register_program
+from repro.lint.program import _body_nodes, _class_map, _finding, _short
+
+#: Call names that push onto the event queue.
+_SCHEDULE_NAMES = frozenset({"schedule", "timeout_event"})
+
+#: Call names that consume (or create) randomness.
+_RNG_NAMES = frozenset({
+    "fork", "seeded_rng", "random", "randint", "integers", "uniform",
+    "choice", "choices", "sample", "shuffle", "normal", "exponential",
+    "expovariate", "poisson", "standard_normal",
+})
+
+#: Call names that order same-time activity (an explicit HB edge): a
+#: writer that serializes on a Resource cannot lose a same-time write.
+_ORDERING_NAMES = frozenset({"request", "acquire"})
+
+#: Per-program memo of "does this function transitively schedule?".
+_SCHEDULES_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _constant_delay(node: ast.AST) -> Optional[float]:
+    """The numeric value of a constant delay expression, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _constant_delay(node.operand)
+        return -inner if inner is not None else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _last_argument(call: ast.Call) -> Optional[ast.AST]:
+    """The syntactically last argument node of ``call`` (for insertion)."""
+    candidates: List[ast.AST] = list(call.args) + [k.value for k in call.keywords]
+    candidates = [
+        c for c in candidates if getattr(c, "end_lineno", None) is not None
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: (c.end_lineno, c.end_col_offset))
+
+
+def _transitively_schedules(program, key: str, visiting: frozenset) -> bool:
+    """Whether the project function ``key`` reaches a ``schedule()`` /
+    ``timeout_event()`` call through project helpers."""
+    memo = _SCHEDULES_MEMO.setdefault(program, {})
+    if key in memo:
+        return memo[key]
+    if key in visiting:
+        return False
+    info = program.table.function(key)
+    if info is None:
+        memo[key] = False
+        return False
+    module = key.partition(":")[0]
+    cls_hint = info.qualname.split(".", 1)[0] if info.is_method else None
+    result = False
+    for site in info.calls:
+        if site.spec and site.spec[-1] in _SCHEDULE_NAMES:
+            result = True
+            break
+        target = program.table.resolve_call(module, site.spec, cls_hint)
+        if target is not None and _transitively_schedules(
+            program, target, visiting | {key}
+        ):
+            result = True
+            break
+    memo[key] = result
+    return result
+
+
+@register_program
+class ScheduleRaceChecker:
+    """SL8xx: order-dependence patterns in discrete-event model code."""
+
+    family = "schedule-race"
+    rules = {
+        "SL801": "same-constant-delay schedule()/timeout_event() calls "
+        "from different functions with no tie-break key",
+        "SL802": "iteration over an unordered container (dict view / set) "
+        "on a path that schedules events or consumes randomness",
+        "SL803": "self attribute written by multiple process methods "
+        "with no interposed Resource/acquire edge",
+        "SL804": "RNG stream name forked in more than one function "
+        "(stream aliasing makes draw order schedule-dependent)",
+        "SL850": "driver results diverge under event-queue tie-break "
+        "permutation (dynamic: emitted by 'repro race', never statically)",
+    }
+
+    def check(
+        self, tree: ast.Module, filename: str, program
+    ) -> Iterator[Finding]:
+        functions = _class_map(tree)
+        yield from self._check_sl801(functions, filename)
+        yield from self._check_sl802(functions, filename, program)
+        yield from self._check_sl803(tree, filename, program)
+        yield from self._check_sl804(functions, filename)
+
+    # -- SL801: unkeyed same-timestamp scheduling ---------------------------
+    @staticmethod
+    def _local_names(func: ast.FunctionDef) -> Set[str]:
+        """Names bound inside ``func``: parameters and assignment targets."""
+        args = func.args
+        out: Set[str] = {
+            a.arg
+            for a in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        }
+        for node in _body_nodes(func.body):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, ast.For):
+                targets = [node.target]
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                targets = [node.optional_vars]
+            for tgt in targets:
+                for leaf in ast.walk(tgt):
+                    if isinstance(leaf, ast.Name):
+                        out.add(leaf.id)
+        return out
+
+    def _shared_receiver(self, call: ast.Call, func: ast.FunctionDef) -> bool:
+        """Whether the call's receiver could be shared across functions.
+
+        ``sim.schedule(...)`` on a *function-local* ``sim`` (a parameter
+        or local assignment) is a private simulator instance — two
+        functions each driving their own simulator cannot race, so only
+        receivers rooted at a non-local name (``self.sim``, a module
+        global, a bare helper call) group across functions.
+        """
+        node: ast.AST = call.func
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id == "self" or node.id not in self._local_names(func)
+        return True
+
+    def _check_sl801(
+        self,
+        functions: Dict[ast.FunctionDef, Optional[str]],
+        filename: str,
+    ) -> Iterator[Finding]:
+        # (scope, delay value) → [(function, call)]: calls from *different*
+        # functions landing on the same constant offset tie-break against
+        # each other; same-function pushes keep program order (per-parent
+        # FIFO) and are not reported.
+        groups: Dict[Tuple[Optional[str], float], List[Tuple[ast.FunctionDef, ast.Call]]] = {}
+        for func, class_name in functions.items():
+            for node in _body_nodes(func.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) not in _SCHEDULE_NAMES or not node.args:
+                    continue
+                if any(k.arg == "key" for k in node.keywords):
+                    continue
+                delay = _constant_delay(node.args[0])
+                if delay is None:
+                    continue
+                if not self._shared_receiver(node, func):
+                    continue  # private simulator instance: cannot race
+                groups.setdefault((class_name, delay), []).append((func, node))
+        for (_scope, delay), sites in sorted(
+            groups.items(), key=lambda kv: (kv[0][0] or "", kv[0][1])
+        ):
+            if len({id(func) for func, _ in sites}) < 2:
+                continue
+            names = sorted({func.name for func, _ in sites})
+            for func, call in sites:
+                fix = None
+                last = _last_argument(call)
+                if last is not None:
+                    fix = Fix(
+                        (insert(
+                            last.end_lineno,
+                            last.end_col_offset,
+                            f', key="{func.name}:{call.lineno}"',
+                        ),),
+                        "pin a deterministic tie-break key",
+                    )
+                yield _finding(
+                    self, "SL801", call, filename,
+                    f"'{call_name(call)}(...)' with delay {delay:g} in "
+                    f"'{func.name}' has no tie-break key, and "
+                    f"{', '.join(n for n in names if n != func.name)} "
+                    f"schedule(s) at the same offset — their same-time "
+                    f"relative order is queue tie-breaking; pass "
+                    f"key=... to pin it",
+                    fix=fix,
+                )
+
+    # -- SL802: unordered iteration feeding the schedule --------------------
+    def _unordered_iter(self, node: ast.AST) -> Optional[str]:
+        """A description of why ``node`` iterates unordered, or None."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("keys", "values", "items")
+                and not node.args
+            ):
+                return f"dict .{func.attr}() view"
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return f"{func.id}(...)"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        return None
+
+    def _body_schedules(
+        self,
+        body: List[ast.stmt],
+        class_name: Optional[str],
+        filename: str,
+        program,
+    ) -> Optional[ast.Call]:
+        """A call in ``body`` that schedules or consumes RNG, or None."""
+        for node in _body_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _SCHEDULE_NAMES or name in _RNG_NAMES or name == "spawn":
+                return node
+            key = program.resolve(filename, _call_spec(node, class_name), class_name)
+            if key is not None and _transitively_schedules(
+                program, key, frozenset()
+            ):
+                return node
+        return None
+
+    def _check_sl802(
+        self,
+        functions: Dict[ast.FunctionDef, Optional[str]],
+        filename: str,
+        program,
+    ) -> Iterator[Finding]:
+        for func, class_name in functions.items():
+            for node in _body_nodes(func.body):
+                if not isinstance(node, ast.For):
+                    continue
+                why = self._unordered_iter(node.iter)
+                if why is None:
+                    continue
+                sink = self._body_schedules(
+                    node.body, class_name, filename, program
+                )
+                if sink is None:
+                    continue
+                fix = None
+                it = node.iter
+                if (
+                    why in ("dict .keys() view", "dict .items() view")
+                    and getattr(it, "end_lineno", None) is not None
+                ):
+                    fix = Fix(
+                        (
+                            insert(it.lineno, it.col_offset, "sorted("),
+                            insert(it.end_lineno, it.end_col_offset, ")"),
+                        ),
+                        "iterate in sorted order",
+                    )
+                yield _finding(
+                    self, "SL802", node, filename,
+                    f"loop over {why} reaches "
+                    f"'{call_name(sink)}(...)' (line {sink.lineno}) — for "
+                    f"tables populated during the run, iteration order is "
+                    f"event order, so the schedule inherits tie-break "
+                    f"nondeterminism; iterate a sorted() or otherwise "
+                    f"deterministically ordered sequence",
+                    fix=fix,
+                )
+
+    # -- SL803: unsynchronized shared writes across processes ---------------
+    def _self_writes(self, func: ast.FunctionDef) -> Set[str]:
+        out: Set[str] = set()
+        for node in _body_nodes(func.body):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                ):
+                    out.add(tgt.attr)
+        return out
+
+    def _has_ordering_edge(self, func: ast.FunctionDef) -> bool:
+        return any(
+            isinstance(n, ast.Call) and call_name(n) in _ORDERING_NAMES
+            for n in _body_nodes(func.body)
+        )
+
+    def _check_sl803(
+        self, tree: ast.Module, filename: str, program
+    ) -> Iterator[Finding]:
+        module = program.module_of(filename)
+        classifier = program.classifier
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            writers: Dict[str, List[ast.FunctionDef]] = {}
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if not classifier.is_process(f"{module}:{node.name}.{item.name}"):
+                    continue
+                for attr in self._self_writes(item):
+                    writers.setdefault(attr, []).append(item)
+            for attr, funcs in sorted(writers.items()):
+                if len(funcs) < 2:
+                    continue
+                if all(self._has_ordering_edge(f) for f in funcs):
+                    continue  # every writer serializes on a resource
+                names = ", ".join(sorted(f.name for f in funcs))
+                site = max(funcs, key=lambda f: f.lineno)
+                yield _finding(
+                    self, "SL803", site, filename,
+                    f"'self.{attr}' is written by process methods {names} "
+                    f"of {node.name} with no Resource/acquire edge in "
+                    f"every writer — same-time activations race on it "
+                    f"(last writer wins by queue tie-breaking); guard the "
+                    f"writes with a Resource or merge them into one owner",
+                )
+
+    # -- SL804: RNG stream aliasing -----------------------------------------
+    def _stream_literal(self, call: ast.Call) -> Optional[str]:
+        name = call_name(call)
+        node: Optional[ast.AST] = None
+        if name == "fork":
+            node = call.args[0] if call.args else None
+            for kw in call.keywords:
+                if kw.arg == "stream_name":
+                    node = kw.value
+        elif name == "seeded_rng":
+            node = call.args[1] if len(call.args) > 1 else None
+            for kw in call.keywords:
+                if kw.arg == "stream":
+                    node = kw.value
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def _check_sl804(
+        self,
+        functions: Dict[ast.FunctionDef, Optional[str]],
+        filename: str,
+    ) -> Iterator[Finding]:
+        # stream name → [(function name, call)]
+        uses: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        for func, _class_name in functions.items():
+            for node in _body_nodes(func.body):
+                if isinstance(node, ast.Call):
+                    stream = self._stream_literal(node)
+                    if stream is not None:
+                        uses.setdefault(stream, []).append((func.name, node))
+        for stream, sites in sorted(uses.items()):
+            owners = sorted({fname for fname, _ in sites})
+            if len(owners) < 2:
+                continue
+            for fname, call in sites:
+                others = ", ".join(o for o in owners if o != fname)
+                yield _finding(
+                    self, "SL804", call, filename,
+                    f"RNG stream {stream!r} is also forked in {others} — "
+                    f"aliased streams share one sequence, so each "
+                    f"consumer's draws depend on event interleaving; give "
+                    f"every consumer its own stream name",
+                )

@@ -1,0 +1,93 @@
+"""Deliberate SL8xx violations: static schedule-race patterns."""
+
+
+# -- SL801: same-constant-delay schedules from different functions -----------
+
+def arm_timeout(payload):
+    SIM.schedule(5.0, payload)  # SL801: arm_retry also lands on +5.0
+
+
+def arm_retry(payload):
+    SIM.schedule(5.0, payload)  # SL801: tie-break order vs arm_timeout
+
+
+def arm_keyed(payload):
+    SIM.schedule(5.0, payload, key="arm_keyed:0")  # ok: pinned
+
+
+def burst(payload):
+    # ok: same-function pushes keep program order (per-parent FIFO)
+    SIM.schedule(7.0, payload)
+    SIM.schedule(7.0, payload)
+
+
+def private_sim(payload):
+    sim = object()  # a function-local simulator instance
+    sim.schedule(5.0, payload)  # ok: nothing else schedules on *this* sim
+
+
+# -- SL802: unordered iteration feeding the schedule -------------------------
+
+def drain(links):
+    for name in links.keys():  # SL802 (+fix: sorted(...))
+        schedule(0.25, name)
+
+
+def kick(node):
+    schedule(1.5, node)
+
+
+def drain_via_helper(links):
+    for name in links.keys():  # SL802: kick() transitively schedules
+        kick(name)
+
+
+def roll(streams):
+    for rng in {RNG_A, RNG_B}:  # SL802: set literal, draws in hash order
+        rng.random()
+
+
+def drain_sorted(links):
+    for name in sorted(links):  # ok: deterministic order
+        schedule(0.75, name)
+
+
+def tally(links):
+    for name in links.keys():  # ok: body neither schedules nor draws
+        print(name)
+
+
+# -- SL803: unsynchronized shared writes across process methods --------------
+
+class Pump:
+    def producer(self):
+        self.level = 1  # SL803: consumer also writes self.level
+        yield None
+
+    def consumer(self):
+        self.level = 0
+        yield None
+
+
+class SafePump:
+    def fill(self, res):
+        yield res.request()
+        self.level = 1  # ok: every writer serializes on the resource
+
+    def drain(self, res):
+        yield res.request()
+        self.level = 0
+
+
+# -- SL804: RNG stream aliasing ----------------------------------------------
+
+def jitter_send(rng):
+    return rng.fork("lat").random()  # SL804: jitter_recv forks 'lat' too
+
+
+def jitter_recv(rng):
+    return rng.fork("lat").normal()  # SL804
+
+
+def jitter_private(rng):
+    return rng.fork("lat.private").random()  # ok: unique stream name

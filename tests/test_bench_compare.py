@@ -1,0 +1,69 @@
+"""Perf-trajectory keeper: benchmarks/compare.py update/compare loop."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "benchmarks" / "compare.py"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_checked_in_baseline_is_loadable_and_complete():
+    mod = _load_module()
+    baseline = mod.load_baseline(REPO / "BENCH_simulator.json")
+    assert set(baseline) == set(mod.BENCHMARKS)
+    assert all(v > 0 for v in baseline.values())
+
+
+def test_compare_verdicts():
+    mod = _load_module()
+    names = sorted(mod.BENCHMARKS)
+    baseline = {name: 1.0 for name in names}
+    same = mod.compare(baseline, {name: 1.05 for name in names}, 0.20)
+    assert all(ln.startswith("ok") for ln in same)
+    slow = mod.compare(baseline, {name: 1.5 for name in names}, 0.20)
+    assert all(ln.startswith("REGRESSION") for ln in slow)
+    fast = mod.compare(baseline, {name: 0.5 for name in names}, 0.20)
+    assert all(ln.startswith("ok") for ln in fast)  # faster never fails
+    assert all("baseline stale" in ln for ln in fast)
+    missing = mod.compare({}, {name: 1.0 for name in names}, 0.20)
+    assert all(ln.startswith("NEW") for ln in missing)
+
+
+def test_update_then_compare_round_trip(tmp_path):
+    baseline = tmp_path / "bench.json"
+    update = subprocess.run(
+        [sys.executable, str(SCRIPT), "--update", "--repeats", "1",
+         "--baseline", str(baseline)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert update.returncode == 0, update.stderr
+    doc = json.loads(baseline.read_text())
+    assert doc["schema"] == 1
+    # A generous tolerance makes the immediate re-compare deterministic
+    # even on a noisy box.
+    compare = subprocess.run(
+        [sys.executable, str(SCRIPT), "--repeats", "1", "--tolerance", "10",
+         "--baseline", str(baseline)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert compare.returncode == 0, compare.stdout + compare.stderr
+
+
+def test_missing_baseline_exits_2(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--repeats", "1",
+         "--baseline", str(tmp_path / "nope.json")],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 2
+    assert "cannot load baseline" in proc.stderr
