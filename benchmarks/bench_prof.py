@@ -1,0 +1,74 @@
+"""Profiler overhead benchmarks: profiling must be pay-for-what-you-use.
+
+``Simulator(profile=None)`` — the default — must run the original,
+untouched event loop: the only cost the profiler PR added to unprofiled
+runs is a handful of ``is None`` checks at scheduling sites. The
+benchmarks below track both sides of that contract:
+
+* the unprofiled event loop (regression-tracked by pytest-benchmark and
+  by ``benchmarks/compare.py``'s ``event_loop_100k`` entry, whose ±20%
+  gate against the recorded baseline is the pre-PR-noise assertion);
+* the profiled loop, so the profiler's own cost stays visible;
+* a direct ratio check that the unprofiled loop is not paying the
+  profiled loop's per-event clock reads.
+"""
+
+import time
+
+from repro.simengine import Delay, Simulator
+
+_N = 20_000
+
+
+def _event_loop(profile) -> float:
+    sim = Simulator(profile=profile)
+
+    def ticker():
+        for _ in range(_N):
+            yield Delay(1.0)
+
+    sim.spawn(ticker())
+    return sim.run()
+
+
+def test_event_loop_unprofiled(benchmark):
+    assert benchmark(lambda: _event_loop(None)) == float(_N)
+
+
+def test_event_loop_profiled(benchmark):
+    assert benchmark(lambda: _event_loop(True)) == float(_N)
+
+
+def _median_wall(workload, repeats: int = 5) -> float:
+    walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()  # simlint: ignore[SL201] — benchmark harness measures wall time
+        workload()
+        walls.append(time.perf_counter() - t0)  # simlint: ignore[SL201] — benchmark harness
+    return sorted(walls)[len(walls) // 2]
+
+
+def test_unprofiled_loop_within_noise_of_profiled_floor():
+    """The profile=None loop must not pay the profiler's per-event cost.
+
+    The profiled loop adds two clock reads plus attribution dicts per
+    event, so the unprofiled loop should be measurably at or below it;
+    the generous margin keeps this robust on loaded CI machines while
+    still catching an accidentally always-on instrumentation path
+    (which would make the two loops run the same code).
+    """
+    off = _median_wall(lambda: _event_loop(None))
+    on = _median_wall(lambda: _event_loop(True))
+    assert off <= on * 1.25, (
+        f"unprofiled loop ({off*1e3:.1f} ms) slower than profiled "
+        f"({on*1e3:.1f} ms) beyond noise — is instrumentation always on?"
+    )
+
+
+def test_unprofiled_simulator_has_no_profiler_state():
+    """Structural form of pay-for-what-you-use: no profiler reachable."""
+    sim = Simulator()
+    assert sim.prof is None
+    assert sim._queue.prof is None
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.label is None

@@ -67,3 +67,23 @@ def test_des_alltoall_32_ranks(benchmark):
         return MPIJob(xt4("VN"), 32).run(main).returns[0]
 
     assert benchmark(run) == sum(range(32))
+
+
+def _driver_bench(benchmark, exp_id):
+    from repro.core import get_experiment
+
+    driver = get_experiment(exp_id)
+    driver()  # warm module-level memoization outside the timed region
+    assert benchmark(driver) is not None
+
+
+def test_driver_fig18_pop(benchmark):
+    _driver_bench(benchmark, "fig18")
+
+
+def test_driver_fig19_pop(benchmark):
+    _driver_bench(benchmark, "fig19")
+
+
+def test_driver_fig12_13_network(benchmark):
+    _driver_bench(benchmark, "fig12_13")

@@ -4,14 +4,25 @@ ROADMAP item 1 gates the simengine hot-path rewrite on "no regression
 against a recorded baseline". This script is that baseline's keeper:
 
 * ``python benchmarks/compare.py --update`` — run the benchmark set
-  (DES core microbenchmarks plus the two heaviest figure drivers,
-  fig17 POP and fig22 S3D) and rewrite ``BENCH_simulator.json``;
+  (DES core microbenchmarks plus the heavy figure drivers: fig17/18/19
+  POP, fig22 S3D and the network-bound fig12_13) and rewrite
+  ``BENCH_simulator.json``;
 * ``python benchmarks/compare.py`` — re-run and compare against the
   checked-in baseline. A benchmark more than ``--tolerance`` (default
   20%) *slower* than baseline is a regression and fails the run; one
   more than the tolerance *faster* prints a note to refresh the
   baseline but does not fail (optimisation PRs should land, then
   ratchet with ``--update``).
+
+Schema 2 baselines also store an **engine-phase breakdown** per
+benchmark (from one extra run under :class:`repro.prof.EngineProfiler`
+— the timing loop itself always runs with profiling off, so ``best_s``
+is the unprofiled engine). Phases are compared with their own, looser
+``--phase-tolerance`` gate (percentage noise on a sub-millisecond phase
+means nothing, so phases under ``PHASE_FLOOR_S`` are exempt): the
+trajectory then shows not just *that* the engine got faster but *which
+subsystem* moved. Schema-1 baselines still load (no phase data, no
+phase gate).
 
 Wall-clock numbers are machine-dependent, so CI treats a compare
 failure as advisory (non-blocking job); the checked-in baseline's value
@@ -29,11 +40,15 @@ import json
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_simulator.json"
-SCHEMA = 1
+SCHEMA = 2
+
+#: Engine phases whose baseline self time is below this are exempt from
+#: the per-phase gate (percentage jitter on tiny phases is pure noise).
+PHASE_FLOOR_S = 0.005
 
 
 def _bench_event_loop_100k() -> float:
@@ -94,19 +109,44 @@ def _driver(exp_id: str) -> Callable[[], float]:
 
 
 #: name → workload. Mirrors benchmarks/bench_simulator.py (the pytest
-#: harness) plus the two heaviest paper figures; keep the two in sync.
+#: harness) plus the heavy paper figures; keep the two in sync.
 BENCHMARKS: Dict[str, Callable[[], float]] = {
     "event_loop_100k": _bench_event_loop_100k,
     "des_pingpong_1000": _bench_des_pingpong_1000,
     "des_allreduce_64": _bench_des_allreduce_64,
     "driver_fig17_pop": _driver("fig17"),
+    "driver_fig18_pop": _driver("fig18"),
+    "driver_fig19_pop": _driver("fig19"),
     "driver_fig22_s3d": _driver("fig22"),
+    "driver_fig12_13_net": _driver("fig12_13"),
 }
 
+#: One benchmark record: {"best_s": float, "phases": {name: seconds}}.
+Record = Dict[str, Any]
 
-def measure(repeats: int = 3) -> Dict[str, float]:
-    """Best-of-``repeats`` wall seconds per benchmark (warmed imports)."""
-    results: Dict[str, float] = {}
+
+def _profile_phases(workload: Callable[[], float]) -> Dict[str, float]:
+    """Engine-phase self times (seconds) from one profiled run."""
+    from repro.prof import EngineProfiler, installed_profiler
+
+    prof = EngineProfiler()
+    with installed_profiler(prof):
+        workload()
+    return {
+        name: round(ns / 1e9, 6)
+        for name, ns in sorted(prof.phase_self_ns.items())
+    }
+
+
+def measure(repeats: int = 3) -> Dict[str, Record]:
+    """Best-of-``repeats`` wall seconds per benchmark (warmed imports),
+    plus an engine-phase breakdown from one additional profiled run.
+
+    The timing loop always runs with profiling *off*: ``best_s`` is the
+    cost of the real engine, and comparing it against a pre-profiler
+    baseline doubles as the profiling-is-pay-for-what-you-use check.
+    """
+    results: Dict[str, Record] = {}
     for name, workload in BENCHMARKS.items():
         best: Optional[float] = None
         for _ in range(repeats):
@@ -114,24 +154,37 @@ def measure(repeats: int = 3) -> Dict[str, float]:
             workload()
             wall = time.perf_counter() - t0  # simlint: ignore[SL201] — benchmark harness
             best = wall if best is None else min(best, wall)
-        results[name] = best or 0.0
-        print(f"  {name:24s} {results[name]*1e3:9.2f} ms", file=sys.stderr)
+        results[name] = {
+            "best_s": best or 0.0,
+            "phases": _profile_phases(workload),
+        }
+        print(f"  {name:24s} {results[name]['best_s']*1e3:9.2f} ms",
+              file=sys.stderr)
     return results
 
 
-def load_baseline(path: pathlib.Path) -> Dict[str, float]:
+def load_baseline(path: pathlib.Path) -> Dict[str, Record]:
+    """Load a baseline; schema-1 files load with empty phase data."""
     data = json.loads(path.read_text())
-    if data.get("schema") != SCHEMA:
-        raise ValueError(f"unsupported baseline schema {data.get('schema')!r}")
-    return {k: float(v["best_s"]) for k, v in data["benchmarks"].items()}
+    schema = data.get("schema")
+    if schema not in (1, SCHEMA):
+        raise ValueError(f"unsupported baseline schema {schema!r}")
+    return {
+        k: {
+            "best_s": float(v["best_s"]),
+            "phases": dict(v.get("phases", {})),
+        }
+        for k, v in data["benchmarks"].items()
+    }
 
 
 def write_baseline(
-    path: pathlib.Path, results: Dict[str, float], repeats: int
+    path: pathlib.Path, results: Dict[str, Record], repeats: int
 ) -> None:
     doc = {
         "schema": SCHEMA,
-        "units": "seconds (best of repeats, wall clock)",
+        "units": "seconds (best of repeats, wall clock); phases are "
+        "engine-phase self seconds from one profiled run",
         "repeats": repeats,
         "note": (
             "perf trajectory for the simengine hot-path rewrite "
@@ -140,23 +193,59 @@ def write_baseline(
             "that changes the hot path"
         ),
         "benchmarks": {
-            name: {"best_s": round(best, 6)} for name, best in results.items()
+            name: {
+                "best_s": round(rec["best_s"], 6),
+                "phases": rec["phases"],
+            }
+            for name, rec in results.items()
         },
     }
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
+def phase_report_rows(
+    baseline: Dict[str, Record], current: Dict[str, Record]
+) -> List[dict]:
+    """Per-(benchmark, phase) comparison rows — the CI job-summary table."""
+    rows = []
+    for name in sorted(BENCHMARKS):
+        base_ph = baseline.get(name, {}).get("phases", {})
+        cur_ph = current.get(name, {}).get("phases", {})
+        for phase in sorted(set(base_ph) | set(cur_ph)):
+            b = float(base_ph.get(phase, 0.0))
+            c = float(cur_ph.get(phase, 0.0))
+            rows.append(
+                {
+                    "benchmark": name,
+                    "phase": phase,
+                    "base_ms": round(b * 1e3, 3),
+                    "cur_ms": round(c * 1e3, 3),
+                    "delta_%": round(100.0 * (c - b) / b, 1) if b else "-",
+                }
+            )
+    return rows
+
+
 def compare(
-    baseline: Dict[str, float], current: Dict[str, float], tolerance: float
+    baseline: Dict[str, Record],
+    current: Dict[str, Record],
+    tolerance: float,
+    phase_tolerance: float = 0.50,
 ) -> List[str]:
     """Human-readable verdict lines; a line starting with REGRESSION
-    means failure."""
+    means failure.
+
+    Totals gate at ``tolerance``; engine phases (schema 2) gate at the
+    looser ``phase_tolerance``, and only when the baseline phase is at
+    least ``PHASE_FLOOR_S``.
+    """
     lines: List[str] = []
     for name in sorted(BENCHMARKS):
         if name not in baseline:
             lines.append(f"NEW        {name}: no baseline entry (run --update)")
             continue
-        base, cur = baseline[name], current[name]
+        base = baseline[name]["best_s"]
+        cur = current[name]["best_s"]
         if base <= 0:
             lines.append(f"SKIP       {name}: degenerate baseline {base}")
             continue
@@ -172,6 +261,20 @@ def compare(
             f"({ratio:.0%} of baseline)"
             + ("" if verdict in ("ok", "REGRESSION") else f"  [{verdict}]")
         )
+        base_ph = baseline[name].get("phases", {})
+        cur_ph = current[name].get("phases", {})
+        for phase in sorted(base_ph):
+            b = float(base_ph[phase])
+            if b < PHASE_FLOOR_S:
+                continue
+            c = float(cur_ph.get(phase, 0.0))
+            pr = c / b
+            if pr > 1 + phase_tolerance:
+                lines.append(
+                    f"REGRESSION {name:24s} phase {phase}: "
+                    f"{b*1e3:.2f} ms -> {c*1e3:.2f} ms "
+                    f"({pr:.0%} of baseline)"
+                )
     for name in sorted(set(baseline) - set(BENCHMARKS)):
         lines.append(f"STALE      {name}: baseline entry has no benchmark")
     return lines
@@ -195,8 +298,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed slowdown fraction before failing (default 0.20)",
     )
     parser.add_argument(
+        "--phase-tolerance", type=float, default=0.50, metavar="FRAC",
+        help="allowed per-engine-phase slowdown fraction (default 0.50; "
+        f"phases under {PHASE_FLOOR_S*1e3:g} ms baseline are exempt)",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3, metavar="N",
         help="repetitions per benchmark; best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--phase-report", metavar="FILE", default=None,
+        help="also write the per-(benchmark, phase) comparison as JSON "
+        "rows to FILE (for the CI job summary)",
     )
     args = parser.parse_args(argv)
     path = pathlib.Path(args.baseline)
@@ -216,13 +329,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"compare: cannot load baseline {path}: {exc}", file=sys.stderr)
         return 2
 
-    lines = compare(baseline, current, args.tolerance)
+    lines = compare(baseline, current, args.tolerance, args.phase_tolerance)
     print("\n".join(lines))
+    if args.phase_report:
+        rows = phase_report_rows(baseline, current)
+        pathlib.Path(args.phase_report).write_text(
+            json.dumps(rows, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote phase report to {args.phase_report}", file=sys.stderr)
     regressions = [ln for ln in lines if ln.startswith("REGRESSION")]
     if regressions:
         print(
             f"\n{len(regressions)} regression(s) beyond "
-            f"±{args.tolerance:.0%} tolerance",
+            f"±{args.tolerance:.0%} / phase ±{args.phase_tolerance:.0%} "
+            "tolerance",
             file=sys.stderr,
         )
         return 1

@@ -97,6 +97,32 @@ def faults_from(path: Optional[str]) -> Iterator[Optional[Any]]:
 
 
 @contextmanager
+def profiling_to(
+    out_dir: Optional[str], exp_id: str
+) -> Iterator[Optional[Any]]:
+    """Install a fresh engine profiler for the block; write the profile,
+    folded-stack and metrics artifacts into ``out_dir`` on exit.
+
+    With ``out_dir=None`` the block runs unprofiled and ``None`` is
+    yielded, so callers (the runner's worker, driver ``main``\\ s) can
+    pass a ``--profile`` flag through unconditionally. Link-utilization
+    gauges are derived from the tracer installed at exit time, if any —
+    combine with :func:`tracing_to` and the metrics ride the same run.
+    """
+    if out_dir is None:
+        yield None
+        return
+    from repro.obs.tracer import current_tracer
+    from repro.prof import EngineProfiler, installed_profiler, write_artifacts
+
+    prof = EngineProfiler()
+    with installed_profiler(prof):
+        yield prof
+    prof.finalize(current_tracer())
+    write_artifacts(prof, str(out_dir), exp_id, meta={"exp_id": exp_id})
+
+
+@contextmanager
 def tracing_to(path: Optional[str], **meta: Any) -> Iterator[Optional[Tracer]]:
     """Install a fresh tracer for the block; write Perfetto JSON on exit.
 

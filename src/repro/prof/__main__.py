@@ -1,0 +1,8 @@
+"""``python -m repro.prof`` — alias for the ``repro-perf`` CLI."""
+
+import sys
+
+from repro.prof.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

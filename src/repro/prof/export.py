@@ -1,0 +1,130 @@
+"""Profile artifacts: JSON profiles, folded flamegraph stacks, metrics.
+
+One recorded experiment produces three sibling files:
+
+``<exp>.profile.json``
+    The full engine profile (schema-tagged): wall-time attribution per
+    phase / event kind / callsite / scheduling edge, collapsed stacks,
+    and a ``deterministic`` section that depends only on the simulation
+    (counts and stack paths — byte-identical across runs).
+``<exp>.folded``
+    Collapsed stacks in the ``flamegraph.pl`` input format — one
+    ``path;segments value`` line per stack, value in nanoseconds of self
+    time. Feed straight to Brendan Gregg's ``flamegraph.pl`` (or any
+    compatible renderer, e.g. speedscope's "collapsed" importer).
+``<exp>.metrics.json``
+    The sim-time metrics registry (queue-depth / ready-set histograms,
+    link-utilization gauges, sampled series) — fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional
+
+from repro.prof.profiler import EngineProfiler
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "load_profile",
+    "profile_dict",
+    "write_artifacts",
+    "write_folded",
+    "write_profile",
+]
+
+PROFILE_SCHEMA = 1
+
+
+def _ns_count(ns: Dict[str, int], counts: Dict[str, int]) -> dict:
+    return {
+        name: {"ns": ns[name], "count": counts.get(name, 0)}
+        for name in sorted(ns)
+    }
+
+
+def profile_dict(
+    prof: EngineProfiler, meta: Optional[Dict[str, Any]] = None
+) -> dict:
+    """The full profile as a JSON-safe dict (sorted keys throughout)."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "meta": dict(sorted((meta or {}).items())),
+        "engine": {
+            "run_wall_ns": prof.run_wall_ns,
+            "attributed_ns": prof.attributed_ns,
+            "events": prof.events,
+            "sims": prof.sims,
+            "runs": prof.runs,
+            "cancels": prof.cancels,
+        },
+        "phases": {
+            name: {"self_ns": prof.phase_self_ns[name]}
+            for name in sorted(prof.phase_self_ns)
+        },
+        "kinds": _ns_count(prof.kind_ns, prof.kind_counts),
+        "sites": _ns_count(prof.site_ns, prof.site_counts),
+        "edges": _ns_count(prof.edge_ns, prof.edge_counts),
+        "stacks": {
+            path: prof.stack_self_ns[path]
+            for path in sorted(prof.stack_self_ns)
+        },
+        "deterministic": prof.deterministic_dict(),
+    }
+
+
+def write_profile(
+    prof: EngineProfiler,
+    path: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write the profile JSON artifact."""
+    doc = profile_dict(prof, meta)
+    pathlib.Path(path).write_text(
+        json.dumps(doc, sort_keys=True, indent=1) + "\n"
+    )
+
+
+def folded_lines(stacks: Dict[str, int]) -> List[str]:
+    """``flamegraph.pl`` collapsed-stack lines, sorted for determinism."""
+    return [f"{path} {value}" for path, value in sorted(stacks.items())]
+
+
+def write_folded(prof: EngineProfiler, path: str) -> None:
+    """Write the collapsed-stack flamegraph input file."""
+    lines = folded_lines(prof.stack_self_ns)
+    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def write_artifacts(
+    prof: EngineProfiler,
+    out_dir: str,
+    stem: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> List[str]:
+    """Write all three artifacts for ``stem`` into ``out_dir``.
+
+    Returns the written paths (profile, folded, metrics — in that order).
+    The caller is expected to have called :meth:`EngineProfiler.finalize`.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    profile_path = out / f"{stem}.profile.json"
+    folded_path = out / f"{stem}.folded"
+    metrics_path = out / f"{stem}.metrics.json"
+    write_profile(prof, str(profile_path), meta)
+    write_folded(prof, str(folded_path))
+    metrics_path.write_text(prof.metrics.to_json())
+    return [str(profile_path), str(folded_path), str(metrics_path)]
+
+
+def load_profile(path: str) -> dict:
+    """Load a ``.profile.json`` artifact, checking its schema tag."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    schema = doc.get("schema")
+    if schema != PROFILE_SCHEMA:
+        raise ValueError(
+            f"{path}: profile schema {schema!r}, expected {PROFILE_SCHEMA}"
+        )
+    return doc

@@ -63,16 +63,21 @@ def _execute(
     exp_id: str,
     faults_path: Optional[str] = None,
     trace_path: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one driver; returns a picklable payload.
 
     Top-level so :class:`ProcessPoolExecutor` can ship it to workers.
-    Fault plans and tracers are installed *inside* the executing
-    process — process-global state does not cross the pool boundary.
+    Fault plans, tracers and profilers are installed *inside* the
+    executing process — process-global state does not cross the pool
+    boundary (which is also why profile artifacts are written here, in
+    the worker, rather than returned).
     """
-    from repro.experiments.common import faults_from, tracing_to
+    from repro.experiments.common import faults_from, profiling_to, tracing_to
 
-    with faults_from(faults_path), tracing_to(trace_path, exp_id=exp_id):
+    with faults_from(faults_path), \
+            tracing_to(trace_path, exp_id=exp_id), \
+            profiling_to(profile_dir, exp_id):
         t0 = time.perf_counter()  # simlint: ignore[SL201]
         result = get_experiment(exp_id)()
         wall_s = time.perf_counter() - t0  # simlint: ignore[SL201]
@@ -95,6 +100,10 @@ class ExperimentRunner:
         implies execution — a cache hit cannot regenerate a trace — so
         the cache is bypassed (not read, not written) for the
         invocation.
+    :param profile_dir: when set, each experiment runs under the engine
+        profiler and writes its profile/folded/metrics artifacts into
+        the directory (``<exp_id>.profile.json`` etc.). Like tracing,
+        profiling implies execution and bypasses the cache.
     :param tracer: receives the runner's own counters; defaults to the
         process-wide installed tracer, if any.
     """
@@ -106,12 +115,14 @@ class ExperimentRunner:
         force: bool = False,
         faults_path: Optional[str] = None,
         trace_dir: Optional[str] = None,
+        profile_dir: Optional[str] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.cache = cache
         self.force = bool(force)
         self.faults_path = faults_path
         self.trace_dir = trace_dir
+        self.profile_dir = profile_dir
         self.tracer = tracer
         self.hits = 0
         self.misses = 0
@@ -136,7 +147,11 @@ class ExperimentRunner:
         Returns one :class:`RunOutcome` per id, in registry order.
         """
         ids = resolve_ids(exp_ids)
-        caching = self.cache is not None and self.trace_dir is None
+        caching = (
+            self.cache is not None
+            and self.trace_dir is None
+            and self.profile_dir is None
+        )
         outcomes: Dict[str, RunOutcome] = {}
         keys: Dict[str, str] = {}
         to_run: List[str] = []
@@ -203,11 +218,15 @@ class ExperimentRunner:
         }
         if jobs <= 1 or len(exp_ids) == 1:
             return [
-                _execute(e, self.faults_path, trace_path[e]) for e in exp_ids
+                _execute(e, self.faults_path, trace_path[e], self.profile_dir)
+                for e in exp_ids
             ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_execute, e, self.faults_path, trace_path[e])
+                pool.submit(
+                    _execute, e, self.faults_path, trace_path[e],
+                    self.profile_dir,
+                )
                 for e in exp_ids
             ]
             return [f.result() for f in futures]

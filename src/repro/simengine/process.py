@@ -81,7 +81,9 @@ class Process:
             self.done.add_callback(self._end_life_span)
         # First step happens via the scheduler so that spawn() during a
         # callback cascade preserves deterministic ordering.
-        sim._queue.push(sim.now, lambda: self._step(None), key=key)
+        handle = sim._queue.push(sim.now, lambda: self._step(None), key=key)
+        if sim.prof is not None:
+            handle.label = ("proc.start", self.name)
         sim._register_process(self)
 
     # -- public ----------------------------------------------------------
@@ -100,9 +102,11 @@ class Process:
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.alive:
             return
-        self.sim._queue.push(
+        handle = self.sim._queue.push(
             self.sim.now, lambda: self._throw(Interrupt(cause)), key=self.key
         )
+        if self.sim.prof is not None:
+            handle.label = ("proc.interrupt", self.name)
 
     def kill(self) -> None:
         """Terminate the process; its ``done`` event fails with ProcessKilled."""
@@ -171,6 +175,8 @@ class Process:
                 sim.now + command.dt, lambda: self._resume(epoch, None),
                 key=self.key,
             )
+            if sim.prof is not None:
+                self._wait_handle.label = ("proc.delay", self.name)
         elif isinstance(command, Event):
             self._waiting_on = command.name or "<anonymous event>"
             self._waiting_event = command
@@ -191,6 +197,8 @@ class Process:
             self._wait_handle = sim._queue.push(
                 sim.now, lambda: self._resume(epoch, None), key=self.key
             )
+            if sim.prof is not None:
+                self._wait_handle.label = ("proc.yield", self.name)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported command {command!r}"
@@ -223,9 +231,11 @@ class Process:
     def _wait_all(self, barrier: AllOf, epoch: int) -> None:
         events = [e.done if isinstance(e, Process) else e for e in barrier.events]
         if not events:
-            self.sim._queue.push(
+            handle = self.sim._queue.push(
                 self.sim.now, lambda: self._resume(epoch, []), key=self.key
             )
+            if self.sim.prof is not None:
+                handle.label = ("proc.resume", self.name)
             return
         remaining = {"n": len(events)}
 

@@ -65,7 +65,9 @@ def _mix(seed: int, parent: int) -> int:
 
 
 class _Entry:
-    __slots__ = ("time", "seq", "parent", "rank", "callback", "cancelled")
+    __slots__ = (
+        "time", "seq", "parent", "rank", "callback", "cancelled", "label",
+    )
 
     def __init__(
         self,
@@ -80,6 +82,10 @@ class _Entry:
         self.parent = parent
         self.callback = callback
         self.cancelled = False
+        # (kind, owner) attribution label, set by the scheduling site only
+        # when a profiler is attached (see repro.prof.profiler); None is
+        # the universal fast path.
+        self.label: Optional[Tuple[str, str]] = None
         if key is not None:
             # Explicitly keyed: pinned order, immune to permutation.
             self.rank: tuple = (0, str(key), seq)
@@ -107,6 +113,9 @@ class EventQueue:
         # seq of the most recently popped entry: the scheduling parent of
         # every push made while its callback runs (-1 before the first pop).
         self._current_seq = -1
+        # Attached EngineProfiler, or None (the default — unprofiled
+        # queues pay exactly one `is None` check per push).
+        self.prof = None
 
     def __len__(self) -> int:
         return self._live
@@ -129,6 +138,8 @@ class EventQueue:
         entry = _Entry(time, next(self._counter), callback, key, self._current_seq)
         heapq.heappush(self._heap, entry)
         self._live += 1
+        if self.prof is not None:
+            self.prof.note_push(self._live)
         return entry
 
     def cancel(self, entry: _Entry) -> None:
@@ -136,6 +147,8 @@ class EventQueue:
         if not entry.cancelled:
             entry.cancelled = True
             self._live -= 1
+            if self.prof is not None:
+                self.prof.note_cancel()
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live entry, or ``None`` if empty."""

@@ -56,6 +56,25 @@ def test_diff_modes(traces, capsys):
     assert "trace diff (A -> B)" in capsys.readouterr().out
 
 
+def test_diff_fail_over_gates_on_counter_drift(traces, capsys):
+    # SN vs VN ping-pong traces drift far beyond 0.1%: nonzero exit.
+    assert main(["diff", traces["SN"], traces["VN"],
+                 "--fail-over", "0.1"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL:" in out and "drifted beyond" in out
+    # Identical traces never drift: exit 0 at any threshold.
+    assert main(["diff", traces["SN"], traces["SN"],
+                 "--fail-over", "0.1"]) == 0
+    assert "ok: no counter drifted" in capsys.readouterr().out
+    # A huge threshold tolerates the SN/VN drift... unless a counter
+    # exists on only one side (infinite drift always fails); accept
+    # either outcome but require the report to say which.
+    code = main(["diff", traces["SN"], traces["VN"], "--fail-over", "1e9"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    assert ("ok: no counter drifted" in out) == (code == 0)
+
+
 def test_missing_file_is_exit_2(tmp_path, capsys):
     assert main(["summary", str(tmp_path / "nope.json")]) == 2
     assert "repro-trace:" in capsys.readouterr().err

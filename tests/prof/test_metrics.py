@@ -1,0 +1,70 @@
+"""Unit tests for the sim-time metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.prof.metrics import POW2_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_histogram_bucketing_is_inclusive_upper_edge():
+    h = Histogram("h", [1.0, 2.0, 4.0])
+    for v in (0.0, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 100.0):
+        h.observe(v)
+    # (..1], (1..2], (2..4], overflow
+    assert h.counts == [2, 2, 2, 2]
+    assert h.n == 8
+    assert h.sum == pytest.approx(116.5)
+
+
+def test_histogram_rejects_unsorted_or_empty_edges():
+    with pytest.raises(ValueError):
+        Histogram("bad", [])
+    with pytest.raises(ValueError):
+        Histogram("bad", [2.0, 1.0])
+
+
+def test_registry_create_or_get_and_edge_conflict():
+    reg = MetricsRegistry()
+    h1 = reg.histogram("depth")
+    h2 = reg.histogram("depth")
+    assert h1 is h2 and h1.edges == POW2_BUCKETS
+    with pytest.raises(ValueError):
+        reg.histogram("depth", [1.0, 2.0])
+    g = reg.gauge("util")
+    g.set(0.5)
+    assert reg.gauge("util").value == 0.5
+    s = reg.time_series("depth.series")
+    s.record(0.0, 3.0)
+    assert reg.time_series("depth.series").series() == [(0.0, 3.0)]
+
+
+def test_to_json_is_deterministic_and_schema_tagged():
+    def build():
+        reg = MetricsRegistry()
+        reg.histogram("b").observe(7)
+        reg.histogram("a").observe(3)
+        reg.gauge("g").set(1.25)
+        reg.time_series("s").record(1.0, 2.0)
+        return reg
+
+    text_1, text_2 = build().to_json(), build().to_json()
+    assert text_1 == text_2
+    doc = json.loads(text_1)
+    assert doc["schema"] == 1
+    assert list(doc["histograms"]) == ["a", "b"]
+    assert doc["series"]["s"] == {"mode": "sampled", "t": [1.0], "v": [2.0]}
+
+
+def test_fill_link_utilization_from_tracer_counters():
+    reg = MetricsRegistry()
+    tracer = Tracer()
+    tracer.record("net.link[n0->n1].busy_s", 10.0, 4.0)
+    tracer.record("net.link[n0->n1].bytes", 10.0, 1e6)  # not a busy counter
+    assert reg.fill_link_utilization(tracer) == 1
+    assert reg.gauges["net.link[n0->n1].utilization"].value == \
+        pytest.approx(0.4)
+    # None tracer and zero-length traces are no-ops.
+    assert reg.fill_link_utilization(None) == 0
+    assert MetricsRegistry().fill_link_utilization(Tracer()) == 0

@@ -1,0 +1,187 @@
+"""Engine-profiler behaviour: attribution, labels, stacks, installation."""
+
+import pytest
+
+from repro.prof import (
+    EngineProfiler,
+    current_profiler,
+    install_profiler,
+    installed_profiler,
+    uninstall_profiler,
+)
+from repro.simengine import Delay, Simulator
+from repro.simengine.resource import Resource, Store
+
+
+def _pingpong_sim(profile):
+    sim = Simulator(profile=profile)
+    store = Store(sim, name="mbox")
+
+    def producer(sim):
+        for i in range(5):
+            yield Delay(0.5)
+            store.put(i)
+
+    def consumer(sim):
+        got = []
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+        return got
+
+    sim.spawn(producer(sim), name="rank0")
+    cons = sim.spawn(consumer(sim), name="rank1")
+    sim.run()
+    return sim, cons
+
+
+def test_attribution_covers_all_run_wall_time():
+    sim, _ = _pingpong_sim(True)
+    prof = sim.prof
+    assert prof.run_wall_ns > 0
+    # Mark-chain accounting: phase self times sum exactly to the time
+    # between the first and last mark — ≥95% of run_wall_ns (the
+    # remainder is the final end_run bookkeeping read).
+    assert prof.attributed_ns <= prof.run_wall_ns
+    assert prof.attributed_ns >= 0.95 * prof.run_wall_ns
+    assert prof.events > 0
+    assert sum(prof.kind_counts.values()) == prof.events
+
+
+def test_phases_and_sites_are_named_and_normalized():
+    sim, _ = _pingpong_sim(True)
+    prof = sim.prof
+    assert "engine.queue" in prof.phase_self_ns
+    assert "proc.delay" in prof.phase_self_ns
+    assert "store.put" in prof.phase_self_ns
+    assert "store.get" in prof.phase_self_ns
+    assert "event.wake" in prof.phase_self_ns
+    # Owners are digit-normalized: rank0/rank1 collapse to rank*.
+    assert "proc.start:rank*" in prof.site_counts
+    assert prof.site_counts["proc.start:rank*"] == 2
+    assert not any(":rank0" in s or ":rank1" in s for s in prof.site_counts)
+
+
+def test_scheduling_edges_use_parent_bookkeeping():
+    sim, _ = _pingpong_sim(True)
+    edges = sim.prof.edge_counts
+    # Spawns from outside the run loop have the external parent.
+    assert edges.get("<external> -> proc.start:rank*") == 2
+    # A delay wakeup scheduled by a previous delay wakeup.
+    assert any(
+        e.startswith("proc.delay:rank* ->") or
+        e.startswith("proc.start:rank* -> proc.delay:rank*")
+        for e in edges
+    )
+
+
+def test_stack_paths_collapse_self_recursion():
+    sim, _ = _pingpong_sim(True)
+    paths = list(sim.prof.stack_self_ns)
+    # Repeated delay wakeups of the same site must not grow the path.
+    assert not any("proc.delay:rank*;proc.delay:rank*" in p for p in paths)
+    assert "engine.queue" in paths
+
+
+def test_resource_arbitration_phase():
+    sim = Simulator(profile=True)
+    res = Resource(sim, capacity=1, name="nic")
+
+    def user(sim):
+        yield from res.use(0.001)
+
+    for i in range(3):
+        sim.spawn(user(sim), name=f"u{i}")
+    sim.run()
+    prof = sim.prof
+    assert prof.phase_self_ns["resource.request"] > 0
+    assert prof.phase_self_ns["resource.release"] > 0
+
+
+def test_probes_outside_run_loop_are_noops():
+    prof = EngineProfiler()
+    sim = Simulator(profile=prof)
+    store = Store(sim, name="pre")
+    store.put(1)  # before run(): probe must not build frames
+    assert prof._frames == []
+    assert prof.phase_self_ns == {}
+
+
+def test_queue_depth_and_ready_set_metrics():
+    sim, _ = _pingpong_sim(True)
+    m = sim.prof.metrics
+    assert m.histograms["engine.queue.depth"].n > 0
+    sim.prof.finalize(None)
+    assert m.histograms["engine.ready_set.size"].n > 0
+
+
+def test_cancel_counting():
+    sim = Simulator(profile=True)
+    handle = sim.schedule(1.0, lambda: None)
+    sim.cancel(handle)
+    assert sim.prof.cancels == 1
+
+
+def test_unlabelled_entries_are_anonymous_callbacks():
+    sim = Simulator(profile=True)
+    sim._queue.push(0.0, lambda: None)  # raw push: no label site
+    sim.run()
+    assert sim.prof.site_counts == {"engine.callback:<anonymous>": 1}
+
+
+def test_schedule_key_and_qualname_labels():
+    sim = Simulator(profile=True)
+
+    def tick():
+        return None
+
+    sim.schedule(0.0, tick)
+    sim.schedule(0.0, tick, key="calib")
+    sim.run()
+    sites = sim.prof.site_counts
+    # Unkeyed: function qualname (digits normalized); keyed: the key.
+    assert any("tick" in s for s in sites)
+    assert "engine.callback:calib" in sites
+
+
+def test_install_uninstall_and_context_manager():
+    assert current_profiler() is None
+    prof = install_profiler(EngineProfiler())
+    try:
+        assert current_profiler() is prof
+        # Simulators constructed now pick it up by default.
+        assert Simulator().prof is prof
+    finally:
+        uninstall_profiler()
+    assert current_profiler() is None
+    with installed_profiler() as inner:
+        assert current_profiler() is inner
+        nested = EngineProfiler()
+        with installed_profiler(nested):
+            assert current_profiler() is nested
+        assert current_profiler() is inner
+    assert current_profiler() is None
+
+
+def test_profiled_run_is_simulation_identical():
+    sim_off, cons_off = _pingpong_sim(None)
+    sim_on, cons_on = _pingpong_sim(True)
+    assert sim_off.prof is None and sim_on.prof is not None
+    assert sim_on.now == sim_off.now
+    assert cons_on.done.value == cons_off.done.value == [0, 1, 2, 3, 4]
+
+
+def test_profiled_run_loop_raising_event_unwinds_frames():
+    sim = Simulator(profile=True)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    prof = sim.prof
+    assert prof._frames == []
+    assert prof.run_wall_ns > 0
+    # The failing event's time is still attributed.
+    assert "engine.callback" in prof.phase_self_ns

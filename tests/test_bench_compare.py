@@ -17,26 +17,81 @@ def _load_module():
     return mod
 
 
+def _records(values):
+    """name → schema-2 record with the given best_s values, no phases."""
+    return {name: {"best_s": v, "phases": {}} for name, v in values.items()}
+
+
 def test_checked_in_baseline_is_loadable_and_complete():
     mod = _load_module()
     baseline = mod.load_baseline(REPO / "BENCH_simulator.json")
     assert set(baseline) == set(mod.BENCHMARKS)
-    assert all(v > 0 for v in baseline.values())
+    assert all(rec["best_s"] > 0 for rec in baseline.values())
+    # Schema 2: at least the DES microbenchmarks carry phase breakdowns.
+    assert baseline["event_loop_100k"]["phases"]
+    assert baseline["des_pingpong_1000"]["phases"]
+
+
+def test_schema1_baseline_still_loads(tmp_path):
+    mod = _load_module()
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(json.dumps({
+        "schema": 1,
+        "benchmarks": {"event_loop_100k": {"best_s": 0.25}},
+    }))
+    baseline = mod.load_baseline(legacy)
+    assert baseline == {"event_loop_100k": {"best_s": 0.25, "phases": {}}}
 
 
 def test_compare_verdicts():
     mod = _load_module()
     names = sorted(mod.BENCHMARKS)
-    baseline = {name: 1.0 for name in names}
-    same = mod.compare(baseline, {name: 1.05 for name in names}, 0.20)
+    baseline = _records({name: 1.0 for name in names})
+    same = mod.compare(baseline, _records({name: 1.05 for name in names}), 0.20)
     assert all(ln.startswith("ok") for ln in same)
-    slow = mod.compare(baseline, {name: 1.5 for name in names}, 0.20)
+    slow = mod.compare(baseline, _records({name: 1.5 for name in names}), 0.20)
     assert all(ln.startswith("REGRESSION") for ln in slow)
-    fast = mod.compare(baseline, {name: 0.5 for name in names}, 0.20)
+    fast = mod.compare(baseline, _records({name: 0.5 for name in names}), 0.20)
     assert all(ln.startswith("ok") for ln in fast)  # faster never fails
     assert all("baseline stale" in ln for ln in fast)
-    missing = mod.compare({}, {name: 1.0 for name in names}, 0.20)
+    missing = mod.compare({}, _records({name: 1.0 for name in names}), 0.20)
     assert all(ln.startswith("NEW") for ln in missing)
+
+
+def test_compare_per_phase_gate():
+    mod = _load_module()
+    name = sorted(mod.BENCHMARKS)[0]
+    baseline = {name: {"best_s": 1.0,
+                       "phases": {"proc.delay": 0.5, "store.put": 0.001}}}
+    # Total within tolerance, but one gated phase doubled.
+    current = {name: {"best_s": 1.0,
+                      "phases": {"proc.delay": 1.0, "store.put": 0.002}}}
+    lines = mod.compare(baseline, current, 0.20, phase_tolerance=0.50)
+    phase_lines = [ln for ln in lines if "phase" in ln]
+    assert phase_lines and all(ln.startswith("REGRESSION") for ln in phase_lines)
+    assert any("proc.delay" in ln for ln in phase_lines)
+    # store.put is below PHASE_FLOOR_S: exempt despite doubling.
+    assert not any("store.put" in ln for ln in phase_lines)
+    # Within phase tolerance: no phase lines at all.
+    ok = mod.compare(
+        baseline,
+        {name: {"best_s": 1.0, "phases": {"proc.delay": 0.6}}},
+        0.20, phase_tolerance=0.50,
+    )
+    assert not [ln for ln in ok if "phase" in ln]
+
+
+def test_phase_report_rows():
+    mod = _load_module()
+    name = sorted(mod.BENCHMARKS)[0]
+    rows = mod.phase_report_rows(
+        {name: {"best_s": 1.0, "phases": {"proc.delay": 0.5}}},
+        {name: {"best_s": 1.0, "phases": {"proc.delay": 0.75}}},
+    )
+    assert rows == [{
+        "benchmark": name, "phase": "proc.delay",
+        "base_ms": 500.0, "cur_ms": 750.0, "delta_%": 50.0,
+    }]
 
 
 def test_update_then_compare_round_trip(tmp_path):
@@ -48,12 +103,13 @@ def test_update_then_compare_round_trip(tmp_path):
     )
     assert update.returncode == 0, update.stderr
     doc = json.loads(baseline.read_text())
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
+    assert all("phases" in rec for rec in doc["benchmarks"].values())
     # A generous tolerance makes the immediate re-compare deterministic
     # even on a noisy box.
     compare = subprocess.run(
         [sys.executable, str(SCRIPT), "--repeats", "1", "--tolerance", "10",
-         "--baseline", str(baseline)],
+         "--phase-tolerance", "20", "--baseline", str(baseline)],
         capture_output=True, text=True, cwd=REPO,
     )
     assert compare.returncode == 0, compare.stdout + compare.stderr

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.mpi",
     "repro.network",
     "repro.obs",
+    "repro.prof",
     "repro.simengine",
 ]
 
