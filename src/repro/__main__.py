@@ -7,6 +7,10 @@ Usage::
     python -m repro run fig02 --trace fig02.trace.json   # Perfetto trace
     python -m repro all [--out results/] [--jobs 4] [--force] [--no-cache]
     python -m repro all --profile profiles/              # + engine profiles
+    python -m repro campaign run --workers 4             # journaled, resumable
+    python -m repro campaign resume <id>                 # pick up after a crash
+    python -m repro cache verify [--delete]              # result-store hygiene
+    python -m repro cache gc --max-age-days 30
     python -m repro lint src/ tests/                     # simlint passthrough
     python -m repro race fig08 -k 4                      # schedule-race certify
     python -m repro perf record --exp fig22              # engine profiling
@@ -154,11 +158,36 @@ def cmd_all(args: argparse.Namespace) -> int:
         profile_dir=profile_dir,
         tracer=tracer,
     )
-    outcomes = runner.run(ids, jobs=args.jobs)
+    try:
+        outcomes = runner.run(ids, jobs=args.jobs)
+    except KeyboardInterrupt:
+        # In-flight atomic cache writes were allowed to finish
+        # (defer_sigint in ResultCache.put), so the store is
+        # consistent: a re-run resumes from whatever completed.
+        print(
+            "\ninterrupted: cache is consistent; re-run `repro all` to "
+            "resume from completed experiments "
+            "(or use `repro campaign` for journaled resume)"
+        )
+        return 130
 
     failures = 0
     report_rows = []
     for o in outcomes:
+        if o.failed:
+            failures += 1
+            print(f"[FAIL] {o.exp_id:14s} {o.error}")
+            report_rows.append(
+                {
+                    "exp_id": o.exp_id,
+                    "cached": False,
+                    "wall_s": round(o.wall_s, 6),
+                    "status": "FAIL",
+                    "key": o.key,
+                    "error": o.error,
+                }
+            )
+            continue
         write_artifacts(o.result, out)
         check = _shape_check(get_experiment(o.exp_id), o.result)
         status = "PASS" if check.passed else "FAIL"
@@ -268,6 +297,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "execution: cached results carry no profile)",
     )
     add_faults_flag(p_all)
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="crash-tolerant, journaled sweep runner "
+        "(see `repro campaign -- --help` for its options)",
+        add_help=False,
+    )
+    p_campaign.add_argument("campaign_args", nargs=argparse.REMAINDER)
+    p_cache = sub.add_parser(
+        "cache",
+        help="result-store hygiene: verify | gc "
+        "(see `repro cache -- --help` for its options)",
+        add_help=False,
+    )
+    p_cache.add_argument("cache_args", nargs=argparse.REMAINDER)
     p_lint = sub.add_parser(
         "lint",
         help="run simlint (see `repro lint -- --help` for its options)",
@@ -301,6 +344,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        campaign_args = args.campaign_args
+        if campaign_args and campaign_args[0] == "--":
+            campaign_args = campaign_args[1:]
+        return campaign_main(campaign_args)
+    if args.command == "cache":
+        from repro.runner.cache_cli import main as cache_main
+
+        cache_args = args.cache_args
+        if cache_args and cache_args[0] == "--":
+            cache_args = cache_args[1:]
+        return cache_main(cache_args)
     if args.command == "lint":
         from repro.lint.cli import main as lint_main
 

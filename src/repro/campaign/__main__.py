@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` — campaign CLI entry point."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,210 @@
+"""The append-only campaign journal: JSONL state transitions.
+
+One journal per campaign directory, ``journal.jsonl``. Each line is a
+self-contained JSON record describing one cell state transition::
+
+    {"v": 1, "cell": "fig05", "state": "leased", "worker": "w0",
+     "attempt": 1, "stolen": false, "t": ...}
+    {"v": 1, "cell": "fig05", "state": "done", "attempt": 1,
+     "key": "ab3f...", "wall_s": 0.41, "t": ...}
+    {"v": 1, "cell": "fig05", "state": "failed", "attempt": 1,
+     "error": "...", "backoff_s": 0.31, "t": ...}
+
+The file is **append-only**: state is the fold of all records in order,
+and a cell with no record is ``pending``. Appends happen under an
+exclusive ``flock`` on a sidecar lock file and are issued as a single
+``O_APPEND`` write + ``fsync`` (with SIGINT deferred around the write),
+so concurrent workers interleave whole records. A worker SIGKILLed
+mid-write can still leave a torn final line; :meth:`Journal.replay`
+tolerates it — any undecodable line is skipped and counted, never
+raised — which is exactly the crash contract the chaos tests exercise.
+
+Quarantine is *derived*, not recorded: a cell whose failure count has
+reached the campaign's ``max_attempts`` folds to ``quarantined``. That
+way a worker dying between its final ``failed`` append and any explicit
+quarantine marker cannot wedge the queue, and raising ``max_attempts``
+on a later resume naturally re-animates quarantined cells.
+"""
+# Wall-clock reads are deliberate: campaigns coordinate *host*
+# processes (leases, heartbeats, backoff), not simulated time.
+# simlint: ignore-file[SL201]
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.runner.atomic import defer_sigint
+
+__all__ = ["CellState", "Journal", "PENDING", "LEASED", "DONE", "FAILED",
+           "QUARANTINED"]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"  # derived: failures >= max_attempts
+
+RECORD_VERSION = 1
+
+
+@dataclass
+class CellState:
+    """The folded state of one cell after replaying the journal."""
+
+    cell_id: str
+    state: str = PENDING
+    failures: int = 0
+    attempt: int = 0          # attempt number of the latest lease
+    worker: Optional[str] = None
+    key: Optional[str] = None
+    wall_s: Optional[float] = None
+    from_cache: bool = False
+    error: Optional[str] = None
+    stolen: int = 0           # number of times a stale lease was stolen
+    retried: int = 0          # re-leases after a failure (attempt > 1)
+    retry_not_before: float = 0.0
+    history: List[str] = field(default_factory=list)
+
+    def terminal(self, max_attempts: int) -> bool:
+        return self.state == DONE or self.quarantined(max_attempts)
+
+    def quarantined(self, max_attempts: int) -> bool:
+        return self.state == FAILED and self.failures >= max_attempts
+
+    def effective(self, max_attempts: int) -> str:
+        """The user-facing state (folds derived quarantine in)."""
+        if self.quarantined(max_attempts):
+            return QUARANTINED
+        return self.state
+
+
+class Journal:
+    """Append/replay access to one campaign's ``journal.jsonl``."""
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.dir = pathlib.Path(directory)
+        self.path = self.dir / "journal.jsonl"
+        self.lock_path = self.dir / "journal.lock"
+        self._lock_fd: Optional[int] = None
+
+    # -- locking ----------------------------------------------------------
+    @contextmanager
+    def exclusive(self) -> Iterator["Journal"]:
+        """Hold the journal lock for a replay-then-append sequence.
+
+        Claim protocols need the read and the write to be one atomic
+        step from every other worker's point of view; this is that
+        step. Re-entrant use is a bug (it would self-deadlock), so it
+        is asserted against.
+        """
+        assert self._lock_fd is None, "Journal.exclusive() is not re-entrant"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            self._lock_fd = fd
+            yield self
+        finally:
+            self._lock_fd = None
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    # -- writing ----------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record (acquiring the lock if not already held)."""
+        if self._lock_fd is not None:
+            self._append_locked(record)
+            return
+        with self.exclusive():
+            self._append_locked(record)
+
+    def _append_locked(self, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record.setdefault("v", RECORD_VERSION)
+        record.setdefault("t", time.time())
+        line = json.dumps(record, sort_keys=True) + "\n"
+        data = line.encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            with defer_sigint():
+                os.write(fd, data)
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- reading ----------------------------------------------------------
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Decode every intact record, silently skipping torn/corrupt
+        lines (tracked on ``self.skipped`` after iteration)."""
+        self.skipped = 0
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.skipped += 1
+                continue
+            if not isinstance(record, dict) or "cell" not in record:
+                self.skipped += 1
+                continue
+            yield record
+
+    def replay(
+        self, cell_ids: Optional[List[str]] = None
+    ) -> Dict[str, CellState]:
+        """Fold the journal into per-cell states.
+
+        ``cell_ids`` (the manifest order) seeds every known cell as
+        ``pending``; records for unknown cells are ignored — a manifest
+        edit can shrink a campaign without invalidating its journal.
+        """
+        states: Dict[str, CellState] = {}
+        if cell_ids is not None:
+            for cell_id in cell_ids:
+                states[cell_id] = CellState(cell_id=cell_id)
+        for record in self.records():
+            cell_id = record["cell"]
+            if cell_ids is not None and cell_id not in states:
+                continue
+            st = states.setdefault(cell_id, CellState(cell_id=cell_id))
+            state = record.get("state")
+            if state == LEASED:
+                st.state = LEASED
+                st.worker = record.get("worker")
+                st.attempt = int(record.get("attempt", st.failures + 1))
+                if st.attempt > 1:
+                    st.retried += 1
+                if record.get("stolen"):
+                    st.stolen += 1
+                st.error = None
+            elif state == DONE:
+                st.state = DONE
+                st.key = record.get("key")
+                st.wall_s = record.get("wall_s")
+                st.from_cache = bool(record.get("from_cache", False))
+            elif state == FAILED:
+                st.state = FAILED
+                st.failures += 1
+                st.error = record.get("error")
+                backoff_s = float(record.get("backoff_s", 0.0))
+                st.retry_not_before = float(record.get("t", 0.0)) + backoff_s
+            else:
+                self.skipped = getattr(self, "skipped", 0) + 1
+            st.history.append(str(state))
+        return states

@@ -1,0 +1,132 @@
+"""Worker leases: per-cell ``flock`` ownership with heartbeats.
+
+A worker that wants to run a cell must first acquire the cell's lease —
+an exclusive, non-blocking ``flock`` on ``leases/<cell_id>.lease`` in
+the campaign directory. The lock is held (the fd stays open) for the
+whole execution, which gives the protocol its two key properties for
+free from the kernel:
+
+* **exactly one winner** — two workers racing on the same cell (fresh
+  or stale) cannot both hold the flock; the loser moves on;
+* **death releases** — a SIGKILLed worker's locks evaporate with its
+  file descriptors, so its ``leased`` journal entries become *stealable*
+  the moment the process (and any cell child it forked, which inherits
+  the fd and so keeps the lease alive exactly as long as the cell is
+  genuinely still running) is gone. No timeout tuning can steal a lease
+  from a live owner.
+
+Heartbeats ride the lease file's content/mtime: the owning worker
+rewrites ``{"worker": ..., "pid": ..., "beat": ...}`` between joins on
+its cell child. They are observability plus a politeness gate — other
+workers only *attempt* a steal once the heartbeat has gone stale, which
+keeps a fleet from hammering flock on every poll — but correctness
+never rests on them.
+"""
+# Wall-clock reads are deliberate: leases/heartbeats are host-process
+# coordination, not simulated time.
+# simlint: ignore-file[SL201]
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["Lease", "heartbeat_age"]
+
+
+class Lease:
+    """One cell's lease. Acquire → beat → release (or die)."""
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        cell_id: str,
+        worker: str,
+    ) -> None:
+        self.path = pathlib.Path(directory) / f"{cell_id}.lease"
+        self.cell_id = cell_id
+        self.worker = worker
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def try_acquire(self) -> bool:
+        """Take the lease if free; never blocks.
+
+        Returns ``False`` when another live process (worker or its
+        still-running cell child) holds it.
+        """
+        if self._fd is not None:
+            return True
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        self.beat()
+        return True
+
+    def beat(self) -> None:
+        """Refresh the heartbeat (owner only)."""
+        if self._fd is None:
+            raise RuntimeError(f"lease {self.cell_id} not held")
+        payload = json.dumps(
+            {
+                "cell": self.cell_id,
+                "worker": self.worker,
+                "pid": os.getpid(),
+                "beat": time.time(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        os.lseek(self._fd, 0, os.SEEK_SET)
+        os.ftruncate(self._fd, 0)
+        os.write(self._fd, payload)
+
+    def release(self) -> None:
+        """Drop the lease (idempotent)."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    @staticmethod
+    def info(
+        directory: Union[str, pathlib.Path], cell_id: str
+    ) -> Optional[Dict[str, Any]]:
+        """Last written lease payload (tolerates missing/corrupt files)."""
+        path = pathlib.Path(directory) / f"{cell_id}.lease"
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+
+def heartbeat_age(
+    directory: Union[str, pathlib.Path], cell_id: str
+) -> Optional[float]:
+    """Seconds since the lease file was last touched (``None`` if absent)."""
+    path = pathlib.Path(directory) / f"{cell_id}.lease"
+    try:
+        return max(0.0, time.time() - path.stat().st_mtime)
+    except OSError:
+        return None

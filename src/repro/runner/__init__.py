@@ -11,14 +11,26 @@ simulation sweep) lives on:
 * :mod:`repro.runner.cache` — a content-addressed result store under
   ``.repro-cache/`` with atomic writes and corruption-as-miss reads;
 * :mod:`repro.runner.runner` — :class:`ExperimentRunner`, which checks
-  the cache, fans misses out across a process pool, merges outcomes in
-  registry order, and reports cache/wall-time counters through
-  :mod:`repro.obs`.
+  the cache, fans misses out across a process pool (surviving worker
+  deaths: a ``BrokenProcessPool`` casualty is retried inline once and
+  reported as a per-experiment failure, never an abort), merges
+  outcomes in registry order, and reports cache/wall-time counters
+  through :mod:`repro.obs`;
+* :mod:`repro.runner.atomic` — SIGINT deferral around the atomic
+  publish step, so Ctrl-C never tears an on-disk write;
+* :mod:`repro.runner.cache_cli` — ``repro cache verify|gc`` store
+  hygiene.
+
+``repro all`` is the one-host, ephemeral special case of a *campaign*:
+:mod:`repro.campaign` layers a journaled, resumable, multi-worker
+work-queue over the same content-addressed store (the campaign cell
+fingerprint **is** the runner cache key, so the two share results).
 
 See docs/RUNNER.md for the cache layout and CLI semantics
 (``repro all --jobs N [--force] [--no-cache]``).
 """
 
+from repro.runner.atomic import defer_sigint
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
     CacheEntry,
@@ -44,6 +56,7 @@ __all__ = [
     "RunOutcome",
     "cache_key",
     "cache_key_for",
+    "defer_sigint",
     "driver_source",
     "fault_plan_hash",
     "machine_blob",

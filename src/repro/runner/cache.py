@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.experiment import ExperimentResult
+from repro.runner.atomic import defer_sigint
 
 #: Bump when the entry schema changes; lives in the directory layout so
 #: old and new schemas never collide.
@@ -96,18 +97,27 @@ class ResultCache:
         return entry
 
     def put(self, entry: CacheEntry) -> pathlib.Path:
-        """Atomically store ``entry``; returns the entry path."""
+        """Atomically store ``entry``; returns the entry path.
+
+        SIGINT is deferred across the write-then-replace so an
+        operator's Ctrl-C cannot abandon the temp file or interrupt
+        between serialization and publication — the entry either fully
+        appears or the temp file is removed, and the interrupt is
+        delivered right after.
+        """
         path = self.path_for(entry.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
-            with os.fdopen(fd, "w") as fh:
-                # No sort_keys: column order of table rows is semantic
-                # and must survive the round-trip byte-identically.
-                json.dump(entry.to_dict(), fh)
-            os.replace(tmp, path)
+            with defer_sigint():
+                with os.fdopen(fd, "w") as fh:
+                    # No sort_keys: column order of table rows is
+                    # semantic and must survive the round-trip
+                    # byte-identically.
+                    json.dump(entry.to_dict(), fh)
+                os.replace(tmp, path)
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -50,13 +51,23 @@ class RunOutcome:
     ``wall_s`` is the driver execution time measured in the process
     that ran it; for cache hits it is the *stored* execution time of
     the original run (the hit itself costs only a JSON load).
+
+    ``error`` is set (and ``result`` is ``None``) when the experiment
+    could not be executed at all — a pool worker died (OOM-killed,
+    segfaulted) and the one inline retry failed too. Failed outcomes
+    are never cached.
     """
 
     exp_id: str
-    result: ExperimentResult
+    result: Optional[ExperimentResult]
     from_cache: bool
     wall_s: float
     key: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def _execute(
@@ -178,8 +189,18 @@ class ExperimentRunner:
 
         for payload in self._execute_many(to_run, jobs):
             exp_id = payload["exp_id"]
-            result = ExperimentResult.from_dict(payload["result"])
             key = keys.get(exp_id)
+            if payload.get("error") is not None:
+                outcomes[exp_id] = RunOutcome(
+                    exp_id=exp_id,
+                    result=None,
+                    from_cache=False,
+                    wall_s=payload.get("wall_s", 0.0),
+                    key=key,
+                    error=payload["error"],
+                )
+                continue
+            result = ExperimentResult.from_dict(payload["result"])
             outcome = RunOutcome(
                 exp_id=exp_id,
                 result=result,
@@ -221,6 +242,8 @@ class ExperimentRunner:
                 _execute(e, self.faults_path, trace_path[e], self.profile_dir)
                 for e in exp_ids
             ]
+        payloads: List[Dict[str, Any]] = []
+        broken: List[str] = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
@@ -229,7 +252,35 @@ class ExperimentRunner:
                 )
                 for e in exp_ids
             ]
-            return [f.result() for f in futures]
+            for exp_id, future in zip(exp_ids, futures):
+                try:
+                    payloads.append(future.result())
+                except BrokenProcessPool:
+                    # A worker died under this experiment (OOM kill,
+                    # segfault, ...). The pool is unusable from here on
+                    # — every remaining future raises too — so collect
+                    # the casualties and retry them inline below rather
+                    # than aborting the whole run.
+                    broken.append(exp_id)
+        for exp_id in broken:
+            try:
+                payloads.append(
+                    _execute(
+                        exp_id, self.faults_path, trace_path[exp_id],
+                        self.profile_dir,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced per-exp
+                payloads.append(
+                    {
+                        "exp_id": exp_id,
+                        "error": (
+                            "worker process died and the inline retry "
+                            f"failed: {type(exc).__name__}: {exc}"
+                        ),
+                    }
+                )
+        return payloads
 
     # -- telemetry --------------------------------------------------------
     def _publish(self, outcomes: List[RunOutcome]) -> None:
@@ -249,3 +300,5 @@ class ExperimentRunner:
             name = "runner.cache.hits" if o.from_cache else "runner.cache.misses"
             tracer.add(name, float(i), 1.0)
             tracer.record(f"runner.exp[{o.exp_id}].wall_s", float(i), o.wall_s)
+            if o.failed:
+                tracer.add("runner.exp.failures", float(i), 1.0)

@@ -1,0 +1,218 @@
+"""Campaign lifecycle: manifest, inline drain, resume, merge, telemetry."""
+# Small budgets below are test fixtures, not model constants.
+# simlint: ignore-file[SL302,SL303]
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignExistsError,
+    WorkerConfig,
+    build_cells,
+    execute_cell,
+)
+from repro.core import registry
+from repro.core.report import render_csv, render_result
+from repro.obs import Tracer
+from repro.runner import ResultCache
+
+CHEAP = ["fig05", "table1"]
+EMPTY_PLAN = {"version": 1, "events": []}
+
+
+def _bomb_all_drivers(monkeypatch):
+    registry._ensure_loaded()
+    for exp_id, original in list(registry._REGISTRY.items()):
+        def bomb(exp_id=exp_id):
+            raise AssertionError(f"driver {exp_id} executed")
+        bomb.__module__ = original.__module__
+        monkeypatch.setitem(registry._REGISTRY, exp_id, bomb)
+
+
+def _config(tmp_path, **kwargs):
+    defaults = dict(
+        cache_dir=str(tmp_path / "cache"),
+        heartbeat_s=0.05,
+        stale_after_s=0.25,
+        base_backoff_s=0.01,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return WorkerConfig(**defaults)
+
+
+def _create(tmp_path, cells=None, campaign_id="c1", **cfg):
+    cells = cells if cells is not None else build_cells(CHEAP)
+    return Campaign.create(
+        campaign_id, cells, _config(tmp_path, **cfg), root=tmp_path / "root"
+    )
+
+
+def test_create_writes_self_contained_manifest(tmp_path):
+    cells = build_cells(CHEAP, [("none", None), ("empty", EMPTY_PLAN)])
+    campaign = _create(tmp_path, cells)
+    manifest = json.loads(campaign.manifest_path.read_text())
+    assert manifest["id"] == "c1"
+    assert len(manifest["cells"]) == 4
+    # The plan rides inline: resume never needs the original file.
+    planned = [c for c in manifest["cells"] if "plan" in c]
+    assert len(planned) == 2
+    assert planned[0]["plan"] == EMPTY_PLAN
+    assert manifest["config"]["max_attempts"] == 3
+
+
+def test_create_is_idempotent_for_identical_spec(tmp_path):
+    _create(tmp_path)
+    again = _create(tmp_path)  # run twice == resume
+    assert again.exists
+
+
+def test_create_rejects_spec_drift_under_same_id(tmp_path):
+    _create(tmp_path)
+    with pytest.raises(CampaignExistsError, match="different cell spec"):
+        _create(tmp_path, build_cells(["fig05"]))
+
+
+def test_invalid_ids_are_rejected(tmp_path):
+    for bad in ("", "a/b", ".hidden"):
+        with pytest.raises(CampaignError):
+            Campaign(bad, root=tmp_path)
+
+
+def test_load_missing_campaign_names_known_ids(tmp_path):
+    _create(tmp_path)
+    with pytest.raises(CampaignError, match="c1"):
+        Campaign.load("nope", root=tmp_path / "root")
+
+
+def test_inline_drain_completes_and_merges(tmp_path):
+    campaign = _create(tmp_path)
+    stats = campaign.drain_inline(name="w0")
+    assert stats.done == 2
+    assert campaign.finished()
+    summary = campaign.summary()
+    assert summary["done"] == summary["total"] == 2
+    assert summary["quarantined"] == 0
+    written, problems = campaign.merge(tmp_path / "out")
+    assert problems == []
+    assert sorted(p.name for p in written) == [
+        "fig05.csv", "fig05.txt", "table1.csv", "table1.txt",
+    ]
+
+
+def test_merged_artifacts_match_direct_execution(tmp_path):
+    campaign = _create(tmp_path)
+    campaign.drain_inline(name="w0")
+    campaign.merge(tmp_path / "out")
+    for exp_id in CHEAP:
+        result = registry.get_experiment(exp_id)()
+        assert (tmp_path / "out" / f"{exp_id}.csv").read_text() == \
+            render_csv(result)
+        assert (tmp_path / "out" / f"{exp_id}.txt").read_text() == \
+            render_result(result)
+
+
+def test_resume_serves_done_cells_warm_across_campaigns(
+    tmp_path, monkeypatch
+):
+    _create(tmp_path, campaign_id="first").drain_inline(name="w0")
+    _bomb_all_drivers(monkeypatch)
+    # A second campaign over the same cells shares the result store:
+    # zero driver executions.
+    second = _create(tmp_path, campaign_id="second")
+    stats = second.drain_inline(name="w0")
+    assert stats.done == 2
+    assert stats.cache_hits == 2
+    assert second.summary()["warm"] == 2
+
+
+def test_cache_write_before_journal_append_dedupes(tmp_path, monkeypatch):
+    # The SIGKILL-between-cache-write-and-journal-append window: the
+    # cell's result is in the store but the journal never saw "done".
+    campaign = _create(tmp_path)
+    cache = ResultCache(campaign.config().cache_dir)
+    for cell in campaign.cells():
+        execute_cell(cell, cache)
+    campaign.journal.append(
+        {"cell": "fig05", "state": "leased", "worker": "dead", "attempt": 1}
+    )
+    _bomb_all_drivers(monkeypatch)
+    stats = campaign.drain_inline(name="w0")
+    # Every cell re-runs warm — including the orphaned lease, which is
+    # stolen and then deduped by fingerprint.
+    assert stats.done == 2 and stats.cache_hits == 2
+    assert stats.stolen == 1
+    assert campaign.summary()["stolen"] == 1
+
+
+def test_partial_drain_then_resume_completes(tmp_path):
+    campaign = _create(tmp_path)
+    first = campaign.drain_inline(name="w0", max_cells=1)
+    assert first.outcome == "sliced"
+    assert not campaign.finished()
+    reloaded = Campaign.load("c1", root=tmp_path / "root")
+    second = reloaded.drain_inline(name="w1")
+    assert second.ran == 1
+    assert reloaded.finished()
+
+
+def test_merge_reports_unfinished_and_evicted_cells(tmp_path):
+    campaign = _create(tmp_path)
+    campaign.drain_inline(name="w0", max_cells=1)
+    written, problems = campaign.merge(tmp_path / "out")
+    assert len(written) == 2  # the one done cell
+    assert len(problems) == 1 and "pending" in problems[0]
+    # Evict the store: merge flags the vanished result instead of dying.
+    cache_dir = tmp_path / "cache"
+    for entry in (cache_dir / "v1").glob("*/*.json"):
+        entry.unlink()
+    written, problems = campaign.merge(tmp_path / "out2")
+    assert written == []
+    assert any("missing from cache" in p for p in problems)
+
+
+def test_report_is_json_safe_and_ordered(tmp_path):
+    campaign = _create(tmp_path)
+    campaign.drain_inline(name="w0")
+    report = json.loads(json.dumps(campaign.report()))
+    assert [r["cell_id"] for r in report["cells"]] == CHEAP
+    assert all(r["state"] == "done" for r in report["cells"])
+    assert report["summary"]["done"] == 2
+    assert report["journal_records_skipped"] == 0
+
+
+def test_publish_exports_deterministic_counters(tmp_path):
+    campaign = _create(tmp_path)
+    campaign.drain_inline(name="w0")
+    a, b = Tracer(), Tracer()
+    campaign.publish(a)
+    campaign.publish(b)
+    totals = a.counter_totals("campaign.")
+    assert totals["campaign.cells.done"] == 2.0
+    assert "campaign.cells.quarantined" not in totals
+    assert totals["campaign.cell[fig05].wall_s"] >= 0.0
+    assert a.counter_totals() == b.counter_totals()  # replay-stable
+
+
+def test_quarantined_campaign_publishes_quarantine(tmp_path, monkeypatch):
+    _bomb_all_drivers(monkeypatch)
+    campaign = _create(
+        tmp_path, build_cells(["fig05"]), campaign_id="poison",
+        max_attempts=1,
+    )
+    campaign.drain_inline(name="w0")
+    assert campaign.finished()  # quarantine is terminal
+    tracer = Tracer()
+    campaign.publish(tracer)
+    assert tracer.counter_totals()["campaign.cells.quarantined"] == 1.0
+    assert campaign.summary()["quarantined"] == 1
+
+
+def test_list_ids_sees_only_real_campaigns(tmp_path):
+    _create(tmp_path, campaign_id="b")
+    _create(tmp_path, campaign_id="a", cells=build_cells(["fig05"]))
+    (tmp_path / "root" / "debris").mkdir()
+    assert Campaign.list_ids(tmp_path / "root") == ["a", "b"]

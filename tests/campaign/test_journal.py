@@ -1,0 +1,140 @@
+"""The append-only journal: folds, torn tails, derived quarantine."""
+# Fixed timestamps/backoffs below are test fixtures, not model constants.
+# simlint: ignore-file[SL302,SL303]
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    CellState,
+    Journal,
+)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return Journal(tmp_path)
+
+
+def test_empty_journal_replays_to_pending(journal):
+    states = journal.replay(["a", "b"])
+    assert set(states) == {"a", "b"}
+    assert all(st.state == PENDING for st in states.values())
+    assert journal.skipped == 0
+
+
+def test_lease_then_done_fold(journal):
+    journal.append({"cell": "a", "state": LEASED, "worker": "w0", "attempt": 1})
+    journal.append(
+        {"cell": "a", "state": DONE, "attempt": 1, "key": "k" * 64,
+         "wall_s": 0.5, "from_cache": True}
+    )
+    st = journal.replay(["a"])["a"]
+    assert st.state == DONE
+    assert st.key == "k" * 64
+    assert st.wall_s == 0.5
+    assert st.from_cache
+    assert st.history == [LEASED, DONE]
+
+
+def test_failure_fold_counts_and_schedules_retry(journal):
+    journal.append({"cell": "a", "state": LEASED, "attempt": 1})
+    journal.append(
+        {"cell": "a", "state": FAILED, "attempt": 1, "error": "boom",
+         "backoff_s": 2.0, "t": 100.0}
+    )
+    st = journal.replay(["a"])["a"]
+    assert st.state == FAILED
+    assert st.failures == 1
+    assert st.error == "boom"
+    assert st.retry_not_before == 102.0
+
+
+def test_retry_and_steal_counters(journal):
+    journal.append({"cell": "a", "state": LEASED, "attempt": 1})
+    journal.append({"cell": "a", "state": FAILED, "attempt": 1, "error": "x"})
+    journal.append({"cell": "a", "state": LEASED, "attempt": 2})
+    journal.append({"cell": "a", "state": LEASED, "attempt": 2, "stolen": True})
+    st = journal.replay(["a"])["a"]
+    assert st.retried == 2  # both re-leases carried attempt > 1
+    assert st.stolen == 1
+    assert st.error is None  # a fresh lease clears the stale error
+
+
+def test_quarantine_is_derived_not_recorded(journal):
+    for attempt in (1, 2):
+        journal.append({"cell": "a", "state": LEASED, "attempt": attempt})
+        journal.append(
+            {"cell": "a", "state": FAILED, "attempt": attempt, "error": "x"}
+        )
+    st = journal.replay(["a"])["a"]
+    assert st.quarantined(max_attempts=2)
+    assert st.effective(max_attempts=2) == QUARANTINED
+    assert st.terminal(max_attempts=2)
+    # Raising the budget on a later resume re-animates the cell.
+    assert st.effective(max_attempts=3) == FAILED
+    assert not st.terminal(max_attempts=3)
+
+
+def test_torn_tail_is_skipped_not_raised(journal):
+    journal.append({"cell": "a", "state": LEASED, "attempt": 1})
+    journal.append({"cell": "a", "state": DONE, "attempt": 1, "key": "k"})
+    with open(journal.path, "ab") as fh:
+        fh.write(b'{"cell": "b", "state": "lea')  # SIGKILL mid-append
+    states = journal.replay(["a", "b"])
+    assert states["a"].state == DONE
+    assert states["b"].state == PENDING
+    assert journal.skipped == 1
+
+
+def test_corrupt_middle_line_is_skipped(journal):
+    journal.append({"cell": "a", "state": LEASED, "attempt": 1})
+    with open(journal.path, "ab") as fh:
+        fh.write(b"\x00\xffgarbage\n")
+        fh.write(b'["not", "a", "dict"]\n')
+    journal.append({"cell": "a", "state": DONE, "attempt": 1, "key": "k"})
+    st = journal.replay(["a"])["a"]
+    assert st.state == DONE
+    assert journal.skipped == 2
+
+
+def test_unknown_cells_are_ignored_when_seeded(journal):
+    journal.append({"cell": "ghost", "state": DONE, "attempt": 1})
+    states = journal.replay(["a"])
+    assert set(states) == {"a"}
+    # Without a seed list the journal is taken at face value.
+    assert journal.replay()["ghost"].state == DONE
+
+
+def test_records_are_versioned_and_timestamped(journal):
+    journal.append({"cell": "a", "state": LEASED, "attempt": 1})
+    lines = journal.path.read_text().splitlines()
+    record = json.loads(lines[0])
+    assert record["v"] == 1
+    assert record["t"] > 0
+
+
+def test_exclusive_is_not_reentrant(journal):
+    with journal.exclusive():
+        with pytest.raises(AssertionError):
+            with journal.exclusive():
+                pass  # pragma: no cover
+
+
+def test_unrecognized_state_counts_as_skipped(journal):
+    journal.append({"cell": "a", "state": "warp", "attempt": 1})
+    st = journal.replay(["a"])["a"]
+    assert st.state == PENDING
+    assert journal.skipped == 1
+
+
+def test_cellstate_defaults():
+    st = CellState(cell_id="x")
+    assert st.state == PENDING
+    assert not st.terminal(max_attempts=1)

@@ -1,0 +1,94 @@
+"""flock leases: exclusivity, exactly-one-winner races, heartbeats."""
+# Host wall-clock use below is the thing under test.
+# simlint: ignore-file[SL201]
+
+import threading
+
+from repro.campaign.leases import Lease, heartbeat_age
+
+
+def test_acquire_release_cycle(tmp_path):
+    lease = Lease(tmp_path, "fig05", "w0")
+    assert not lease.held
+    assert lease.try_acquire()
+    assert lease.held
+    assert lease.try_acquire()  # idempotent while held
+    lease.release()
+    assert not lease.held
+    lease.release()  # idempotent when free
+
+
+def test_second_holder_is_rejected(tmp_path):
+    # flock is per open-file-description: a second fd on the same lease
+    # file conflicts even within one process, so this models a second
+    # worker exactly.
+    a = Lease(tmp_path, "fig05", "w0")
+    b = Lease(tmp_path, "fig05", "w1")
+    assert a.try_acquire()
+    assert not b.try_acquire()
+    a.release()
+    assert b.try_acquire()
+    b.release()
+
+
+def test_distinct_cells_do_not_conflict(tmp_path):
+    a = Lease(tmp_path, "fig05", "w0")
+    b = Lease(tmp_path, "table1", "w0")
+    assert a.try_acquire() and b.try_acquire()
+    a.release()
+    b.release()
+
+
+def test_race_has_exactly_one_winner(tmp_path):
+    racers = [Lease(tmp_path, "fig05", f"w{i}") for i in range(8)]
+    barrier = threading.Barrier(len(racers))
+    wins = []
+
+    def race(lease):
+        barrier.wait()
+        if lease.try_acquire():
+            wins.append(lease.worker)
+
+    threads = [threading.Thread(target=race, args=(r,)) for r in racers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(wins) == 1
+    for r in racers:
+        r.release()
+
+
+def test_beat_writes_readable_heartbeat(tmp_path):
+    lease = Lease(tmp_path, "fig05", "w0")
+    with lease:
+        assert lease.try_acquire()
+        lease.beat()
+        info = Lease.info(tmp_path, "fig05")
+        assert info["cell"] == "fig05"
+        assert info["worker"] == "w0"
+        assert info["beat"] > 0
+        age = heartbeat_age(tmp_path, "fig05")
+        assert age is not None and age < 30.0
+
+
+def test_beat_requires_ownership(tmp_path):
+    lease = Lease(tmp_path, "fig05", "w0")
+    try:
+        lease.beat()
+    except RuntimeError as exc:
+        assert "not held" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("beat without the lease must raise")
+
+
+def test_missing_lease_file_reads_as_absent(tmp_path):
+    assert Lease.info(tmp_path, "nope") is None
+    assert heartbeat_age(tmp_path, "nope") is None
+
+
+def test_corrupt_lease_file_reads_as_absent(tmp_path):
+    path = tmp_path / "fig05.lease"
+    path.write_bytes(b"\x00 not json")
+    assert Lease.info(tmp_path, "fig05") is None
+    assert heartbeat_age(tmp_path, "fig05") is not None  # mtime still works

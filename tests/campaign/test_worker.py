@@ -1,0 +1,201 @@
+"""The drain loop: backoff determinism, quarantine, timeouts, slices."""
+# Small timeouts/backoffs below are test fixtures, not model constants.
+# simlint: ignore-file[SL201,SL302,SL303]
+
+import pytest
+
+from repro.campaign import Worker, WorkerConfig, build_cells, retry_backoff_s
+from repro.campaign.journal import DONE, FAILED, QUARANTINED
+from repro.campaign.worker import DRAINED, SLICED
+from repro.core import registry
+
+CHEAP = ["fig05", "table1"]
+
+
+def _bomb_all_drivers(monkeypatch, message="driver executed"):
+    """Make every driver raise — in this process and (via fork) in any
+    campaign cell child."""
+    registry._ensure_loaded()
+    for exp_id, original in list(registry._REGISTRY.items()):
+        def bomb(exp_id=exp_id):
+            raise AssertionError(f"{message}: {exp_id}")
+        bomb.__module__ = original.__module__
+        monkeypatch.setitem(registry._REGISTRY, exp_id, bomb)
+
+
+def _config(tmp_path, **kwargs):
+    defaults = dict(
+        cache_dir=str(tmp_path / "cache"),
+        max_attempts=2,
+        heartbeat_s=0.05,
+        stale_after_s=0.25,
+        base_backoff_s=0.01,
+        poll_s=0.02,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return WorkerConfig(**defaults)
+
+
+def _worker(tmp_path, cells, **kwargs):
+    return Worker(
+        tmp_path / "campaign", cells, _config(tmp_path, **kwargs), name="w0"
+    )
+
+
+def test_retry_backoff_is_deterministic_and_grows():
+    cfg = WorkerConfig(base_backoff_s=0.25, backoff_factor=2.0, seed=11)
+    first = retry_backoff_s("fig05", 1, cfg)
+    assert first == retry_backoff_s("fig05", 1, cfg)  # same stream, same draw
+    assert first != retry_backoff_s("table1", 1, cfg)  # per-cell stream
+    assert 0.25 <= first <= 0.25 * (1.0 + cfg.jitter)
+    second = retry_backoff_s("fig05", 2, cfg)
+    assert 0.5 <= second <= 0.5 * (1.0 + cfg.jitter)
+
+
+def test_backoff_seed_forks_the_schedule():
+    a = WorkerConfig(seed=1)
+    b = WorkerConfig(seed=2)
+    assert retry_backoff_s("fig05", 1, a) != retry_backoff_s("fig05", 1, b)
+
+
+def test_drain_runs_every_cell(tmp_path):
+    worker = _worker(tmp_path, build_cells(CHEAP))
+    stats = worker.drain()
+    assert stats.outcome == DRAINED
+    assert stats.ran == 2 and stats.done == 2 and stats.failed == 0
+    states = worker.journal.replay(worker.order)
+    assert all(st.state == DONE for st in states.values())
+    assert all(st.key for st in states.values())
+
+
+def test_failing_cell_retries_then_quarantines(tmp_path, monkeypatch):
+    _bomb_all_drivers(monkeypatch)
+    worker = _worker(tmp_path, build_cells(["fig05"]))
+    stats = worker.drain()
+    assert stats.outcome == DRAINED  # quarantined is terminal: queue drains
+    assert stats.failed == 2  # max_attempts
+    st = worker.journal.replay(worker.order)["fig05"]
+    assert st.failures == 2
+    assert st.effective(max_attempts=2) == QUARANTINED
+    assert "fig05" in (st.error or "")
+    assert st.retried == 1  # the second lease was a retry
+
+
+def test_failure_records_carry_deterministic_backoff(tmp_path, monkeypatch):
+    _bomb_all_drivers(monkeypatch)
+    worker = _worker(tmp_path, build_cells(["fig05"]))
+    worker.drain()
+    backoffs = [
+        r["backoff_s"]
+        for r in worker.journal.records()
+        if r.get("state") == FAILED
+    ]
+    cfg = _config(tmp_path)
+    assert backoffs == [
+        round(retry_backoff_s("fig05", 1, cfg), 6),
+        round(retry_backoff_s("fig05", 2, cfg), 6),
+    ]
+
+
+def test_wedged_cell_is_killed_on_timeout(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_CELL_DELAY_S", "30")
+    worker = _worker(
+        tmp_path, build_cells(["table1"]),
+        cell_timeout_s=0.3, max_attempts=1,
+    )
+    stats = worker.drain()
+    assert stats.failed == 1
+    st = worker.journal.replay(worker.order)["table1"]
+    assert st.effective(max_attempts=1) == QUARANTINED
+    assert "timeout" in st.error
+
+
+def test_max_cells_slices_resumably(tmp_path):
+    cells = build_cells(CHEAP)
+    first = _worker(tmp_path, cells, max_cells=1).drain()
+    assert first.outcome == SLICED
+    assert first.ran == 1
+    resumer = _worker(tmp_path, cells)
+    second = resumer.drain()
+    assert second.outcome == DRAINED
+    assert second.ran == 1  # only the remaining cell
+    states = resumer.journal.replay(resumer.order)
+    assert all(st.state == DONE for st in states.values())
+
+
+def test_max_seconds_zero_slices_immediately(tmp_path):
+    stats = _worker(tmp_path, build_cells(CHEAP), max_seconds=0.0).drain()
+    assert stats.outcome == SLICED
+    assert stats.ran == 0
+
+
+def test_two_workers_racing_a_stale_lease_one_wins(tmp_path):
+    import threading
+
+    cells = build_cells(["fig05"])
+    # A dead worker's legacy: a leased record with no live flock (the
+    # lease file does not even exist, so the heartbeat reads as absent).
+    setup = _worker(tmp_path, cells)
+    setup.journal.append(
+        {"cell": "fig05", "state": "leased", "worker": "dead", "attempt": 1}
+    )
+    a = _worker(tmp_path, cells)
+    b = Worker(tmp_path / "campaign", cells, _config(tmp_path), name="w1")
+    barrier = threading.Barrier(2)
+    claims = {}
+
+    def race(name, worker):
+        barrier.wait()
+        claim, _ = worker._claim()
+        claims[name] = claim
+
+    threads = [
+        threading.Thread(target=race, args=("a", a)),
+        threading.Thread(target=race, args=("b", b)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    winners = [c for c in claims.values() if c is not None]
+    assert len(winners) == 1
+    assert winners[0].reason == "steal"
+    winners[0].lease.release()
+    # The steal was journaled with the flag that feeds obs counters.
+    st = a.journal.replay(a.order)["fig05"]
+    assert st.stolen == 1
+
+
+def test_live_lease_is_not_stolen(tmp_path):
+    cells = build_cells(["fig05"])
+    owner = _worker(tmp_path, cells)
+    claim, _ = owner._claim()
+    assert claim is not None and claim.reason == "fresh"
+    thief = Worker(
+        tmp_path / "campaign", cells, _config(tmp_path), name="w1"
+    )
+    stolen, all_done = thief._claim()
+    assert stolen is None and not all_done  # heartbeat fresh: not claimable
+    claim.lease.release()
+
+
+def test_backoff_window_blocks_immediate_retry(tmp_path, monkeypatch):
+    _bomb_all_drivers(monkeypatch)
+    cells = build_cells(["fig05"])
+    worker = _worker(tmp_path, cells, base_backoff_s=3600.0, max_cells=1)
+    worker.drain()  # one failure, retry scheduled an hour out
+    retrier = _worker(tmp_path, cells)
+    claim, all_done = retrier._claim()
+    assert claim is None and not all_done
+
+
+def test_finished_queue_reports_all_terminal(tmp_path):
+    cells = build_cells(["fig05"])
+    worker = _worker(tmp_path, cells)
+    worker.journal.append({"cell": "fig05", "state": "leased", "attempt": 1})
+    worker.journal.append(
+        {"cell": "fig05", "state": "done", "attempt": 1, "key": "k"}
+    )
+    claim, all_done = worker._claim()
+    assert claim is None and all_done

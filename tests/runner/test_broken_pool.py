@@ -1,0 +1,66 @@
+"""Pool-worker death: recovery, inline retry, per-experiment failure."""
+
+import multiprocessing
+import os
+
+from repro.core import registry
+from repro.obs import Tracer
+from repro.runner import ExperimentRunner, ResultCache
+
+CHEAP = ["fig05", "table1"]
+
+
+def _die_in_pool_children(monkeypatch, and_inline=False):
+    """Drivers that SIGKILL-equivalent their pool worker.
+
+    ``multiprocessing.parent_process()`` is ``None`` only in the main
+    process, so the bomb fires in pool children (which, under the fork
+    start method, inherit the monkeypatched registry) but not in the
+    inline retry — unless ``and_inline`` makes that raise too.
+    """
+    registry._ensure_loaded()
+    for exp_id, original in list(registry._REGISTRY.items()):
+        def bomb(exp_id=exp_id, original=original):
+            if multiprocessing.parent_process() is not None:
+                os._exit(42)  # hard death: no exception, no cleanup
+            if and_inline:
+                raise RuntimeError(f"inline boom: {exp_id}")
+            return original()
+        bomb.__module__ = original.__module__
+        monkeypatch.setitem(registry._REGISTRY, exp_id, bomb)
+
+
+def test_pool_death_recovers_via_inline_retry(tmp_path, monkeypatch):
+    _die_in_pool_children(monkeypatch)
+    cache = ResultCache(tmp_path / "cache")
+    runner = ExperimentRunner(cache)
+    outcomes = runner.run(CHEAP, jobs=2)
+    assert [o.exp_id for o in outcomes] == sorted(CHEAP)
+    assert all(not o.failed for o in outcomes)
+    assert all(o.result is not None for o in outcomes)
+    assert cache.entries() == 2  # recovered results are cached normally
+
+
+def test_pool_death_then_inline_failure_is_per_experiment(
+    tmp_path, monkeypatch
+):
+    _die_in_pool_children(monkeypatch, and_inline=True)
+    cache = ResultCache(tmp_path / "cache")
+    tracer = Tracer()
+    runner = ExperimentRunner(cache, tracer=tracer)
+    outcomes = runner.run(CHEAP, jobs=2)  # does NOT raise
+    assert all(o.failed for o in outcomes)
+    assert all(o.result is None for o in outcomes)
+    for o in outcomes:
+        assert "inline retry failed" in o.error
+        assert "inline boom" in o.error
+    assert cache.entries() == 0  # failures are never cached
+    assert tracer.counter_totals()["runner.exp.failures"] == 2.0
+
+
+def test_serial_runs_never_touch_the_pool_path(tmp_path, monkeypatch):
+    _die_in_pool_children(monkeypatch)
+    outcomes = ExperimentRunner(ResultCache(tmp_path / "c")).run(
+        CHEAP, jobs=1
+    )
+    assert all(not o.failed for o in outcomes)

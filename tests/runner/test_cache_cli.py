@@ -1,0 +1,135 @@
+"""``repro cache verify|gc``: classification, deletion, eviction."""
+# Fabricated ages/sizes below are test fixtures, not model constants.
+# simlint: ignore-file[SL302,SL303]
+
+import os
+import shutil
+import time
+
+from repro.core.experiment import ExperimentResult
+from repro.obs import Tracer, installed
+from repro.runner import CacheEntry, ResultCache
+from repro.runner.cache_cli import evict_older_than, main, scan
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+def _entry(key):
+    r = ExperimentResult(
+        exp_id="figX", title="t", xlabel="x", ylabel="y", notes=""
+    )
+    r.add("XT4", [1, 2], [1.0, 2.0])
+    return CacheEntry(
+        key=key, exp_id="figX", version="1.0.0", wall_s=0.1, result=r
+    )
+
+
+def _seeded_cache(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cache.put(_entry(KEY_A))
+    cache.put(_entry(KEY_B))
+    return cache
+
+
+def test_clean_store_scans_clean(tmp_path):
+    report = scan(_seeded_cache(tmp_path))
+    assert report.scanned == 2 and report.ok == 2
+    assert report.problems == []
+
+
+def test_scan_classifies_corrupt_misplaced_and_tmp(tmp_path):
+    cache = _seeded_cache(tmp_path)
+    good = cache.path_for(KEY_A)
+    corrupt = good.parent / ("cc" + "0" * 62 + ".json")
+    corrupt.write_bytes(b"{torn")
+    misplaced = good.parent / ("dd" + "0" * 62 + ".json")
+    shutil.copy(good, misplaced)  # valid entry, wrong address
+    abandoned = good.parent / ".tmp-dead.json"
+    abandoned.write_text("{}")
+    report = scan(cache)
+    assert report.ok == 2
+    assert [p.name for p in report.corrupt] == [corrupt.name]
+    assert [p.name for p in report.misplaced] == [misplaced.name]
+    assert [p.name for p in report.tmp] == [abandoned.name]
+    # Nothing deleted without the flag...
+    assert corrupt.is_file() and misplaced.is_file() and abandoned.is_file()
+    # ...and a delete pass removes exactly the debris.
+    report = scan(cache, delete=True)
+    assert report.deleted == 3
+    assert not corrupt.exists() and not misplaced.exists()
+    assert not abandoned.exists()
+    assert cache.get(KEY_A) is not None and cache.get(KEY_B) is not None
+
+
+def test_scan_publishes_counters(tmp_path):
+    cache = _seeded_cache(tmp_path)
+    cache.path_for(KEY_A).write_bytes(b"garbage")
+    tracer = Tracer()
+    with installed(tracer):
+        scan(cache)
+    totals = tracer.counter_totals("cache.verify.")
+    assert totals["cache.verify.scanned"] == 2.0
+    assert totals["cache.verify.corrupt"] == 1.0
+
+
+def test_gc_evicts_only_old_entries(tmp_path):
+    cache = _seeded_cache(tmp_path)
+    old = cache.path_for(KEY_A)
+    week = 7 * 86400
+    os.utime(old, (time.time() - week, time.time() - week))  # simlint: ignore[SL201]
+    report = evict_older_than(cache, max_age_days=1.0)
+    assert report.scanned == 2 and report.evicted == 1
+    assert report.reclaimed_bytes > 0
+    assert cache.get(KEY_A) is None  # safe: recomputed on next miss
+    assert cache.get(KEY_B) is not None
+
+
+def test_gc_dry_run_deletes_nothing(tmp_path):
+    cache = _seeded_cache(tmp_path)
+    report = evict_older_than(cache, max_age_days=0.0, dry_run=True)
+    assert report.evicted == 2 and report.dry_run
+    assert cache.get(KEY_A) is not None and cache.get(KEY_B) is not None
+
+
+def test_gc_spares_fresh_tmp_files(tmp_path):
+    """A just-born temp file may be an in-flight atomic write: gc must
+    not race it. An hour-old one is debris and goes."""
+    cache = _seeded_cache(tmp_path)
+    parent = cache.path_for(KEY_A).parent
+    fresh = parent / ".tmp-inflight.json"
+    fresh.write_text("{}")
+    stale = parent / ".tmp-dead.json"
+    stale.write_text("{}")
+    hour = time.time() - 3600  # simlint: ignore[SL201]
+    os.utime(stale, (hour, hour))
+    evict_older_than(cache, max_age_days=365.0)
+    assert fresh.exists()
+    assert not stale.exists()
+
+
+def test_cli_verify_exit_codes(tmp_path, capsys):
+    cache = _seeded_cache(tmp_path)
+    assert main(["verify", "--cache-dir", str(cache.root)]) == 0
+    cache.path_for(KEY_A).write_bytes(b"garbage")
+    assert main(["verify", "--cache-dir", str(cache.root)]) == 1
+    assert "corrupt" in capsys.readouterr().out
+    assert main(["verify", "--delete", "--cache-dir", str(cache.root)]) == 0
+    assert main(["verify", "--cache-dir", str(cache.root)]) == 0
+
+
+def test_cli_gc_reports(tmp_path, capsys):
+    cache = _seeded_cache(tmp_path)
+    code = main(
+        ["gc", "--max-age-days", "0", "--dry-run",
+         "--cache-dir", str(cache.root)]
+    )
+    assert code == 0
+    assert "would evict 2" in capsys.readouterr().out
+    assert cache.get(KEY_A) is not None
+
+
+def test_missing_store_is_empty_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path / "nope")
+    assert scan(cache).scanned == 0
+    assert evict_older_than(cache, max_age_days=1.0).scanned == 0

@@ -11,6 +11,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.apps",
+    "repro.campaign",
     "repro.core",
     "repro.hpcc",
     "repro.kernels",
