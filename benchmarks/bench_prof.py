@@ -72,3 +72,31 @@ def test_unprofiled_simulator_has_no_profiler_state():
     assert sim._queue.prof is None
     handle = sim.schedule(1.0, lambda: None)
     assert handle.label is None
+
+
+def test_profiled_driver_bench_records_phase_breakdown():
+    """Driver benches must record a non-empty engine-phase breakdown.
+
+    The fig17–19 POP drivers are purely analytic, so their profiled runs
+    used to store empty ``phases`` dicts in BENCH_simulator.json — which
+    made ``compare.py --phase-tolerance`` vacuously green for them. The
+    ``bench.host`` phase (driver-side wall time outside the engine)
+    guarantees every benchmark records where its time went.
+    """
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    try:
+        from compare import BENCHMARKS, _profile_phases
+    finally:
+        sys.path.pop(0)
+    benches = dict(BENCHMARKS)
+    for name in ("driver_fig17_pop", "des_pingpong_1000"):
+        phases = _profile_phases(benches[name])
+        assert phases, f"{name}: empty phase breakdown"
+        assert "bench.host" in phases
+        assert all(v >= 0 for v in phases.values())
+    # An engine-bound bench must still attribute real engine phases.
+    engine_phases = _profile_phases(benches["des_pingpong_1000"])
+    assert any(k.startswith("proc.") for k in engine_phases)

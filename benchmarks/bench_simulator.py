@@ -77,6 +77,10 @@ def _driver_bench(benchmark, exp_id):
     assert benchmark(driver) is not None
 
 
+def test_driver_fig17_pop(benchmark):
+    _driver_bench(benchmark, "fig17")
+
+
 def test_driver_fig18_pop(benchmark):
     _driver_bench(benchmark, "fig18")
 
@@ -87,3 +91,16 @@ def test_driver_fig19_pop(benchmark):
 
 def test_driver_fig12_13_network(benchmark):
     _driver_bench(benchmark, "fig12_13")
+
+
+def test_driver_fig22_s3d(benchmark):
+    _driver_bench(benchmark, "fig22")
+
+
+def test_des_fig22_companion(benchmark):
+    # fig22's figure driver is analytic; the DES work is its companion
+    # (one distributed MiniDNS RK step) — time that separately.
+    import importlib
+
+    module = importlib.import_module("repro.experiments.fig22_s3d")
+    assert benchmark(module.des_companion)

@@ -98,11 +98,44 @@ def _bench_des_allreduce_64() -> float:
     return 0.0
 
 
+def _bench_des_alltoall_32() -> float:
+    from repro.machine import xt4
+    from repro.mpi import MPIJob
+
+    def main(comm):
+        out = yield from comm.alltoall([comm.rank] * comm.size)
+        return sum(out)
+
+    assert MPIJob(xt4("VN"), 32).run(main).returns[0] == sum(range(32))
+    return 0.0
+
+
+def _bench_des_fig22_companion() -> float:
+    # fig22's figure driver is purely analytic; its DES work lives in the
+    # module's ``des_companion`` (one distributed MiniDNS RK step), so
+    # that is what the engine benchmark must time.
+    import importlib
+
+    module = importlib.import_module("repro.experiments.fig22_s3d")
+    assert module.des_companion()
+    return 0.0
+
+
 def _driver(exp_id: str) -> Callable[[], float]:
     def run() -> float:
+        import importlib
+
         from repro.core import get_experiment
 
-        get_experiment(exp_id)()
+        driver = get_experiment(exp_id)
+        # Defeat module-level @lru_cache memoization, exactly as the
+        # simrace certifier does: a memo hit on repeat 2+ would make the
+        # recorded best_s (and the profiled phase breakdown) measure a
+        # dictionary lookup instead of the driver.
+        from repro.simrace.certify import _clear_module_memoization
+
+        _clear_module_memoization(importlib.import_module(driver.__module__))
+        driver()
         return 0.0
 
     return run
@@ -114,6 +147,8 @@ BENCHMARKS: Dict[str, Callable[[], float]] = {
     "event_loop_100k": _bench_event_loop_100k,
     "des_pingpong_1000": _bench_des_pingpong_1000,
     "des_allreduce_64": _bench_des_allreduce_64,
+    "des_alltoall_32": _bench_des_alltoall_32,
+    "des_fig22_companion": _bench_des_fig22_companion,
     "driver_fig17_pop": _driver("fig17"),
     "driver_fig18_pop": _driver("fig18"),
     "driver_fig19_pop": _driver("fig19"),
@@ -126,16 +161,29 @@ Record = Dict[str, Any]
 
 
 def _profile_phases(workload: Callable[[], float]) -> Dict[str, float]:
-    """Engine-phase self times (seconds) from one profiled run."""
+    """Engine-phase self times (seconds) from one profiled run.
+
+    Also records ``bench.host``: profiled wall time *not* attributed to
+    any engine phase — driver-side analytic work (POP decomposition
+    search, model evaluation, plotting math). Purely analytic benchmarks
+    previously recorded an empty ``phases`` dict, which made the
+    ``--phase-tolerance`` gate vacuously green for them.
+    """
     from repro.prof import EngineProfiler, installed_profiler
 
     prof = EngineProfiler()
+    t0 = time.perf_counter()  # simlint: ignore[SL201] — benchmark harness measures wall time
     with installed_profiler(prof):
         workload()
-    return {
+    wall_ns = (time.perf_counter() - t0) * 1e9  # simlint: ignore[SL201] — benchmark harness
+    phases = {
         name: round(ns / 1e9, 6)
         for name, ns in sorted(prof.phase_self_ns.items())
     }
+    phases["bench.host"] = round(
+        max(0.0, wall_ns - prof.attributed_ns) / 1e9, 6
+    )
+    return phases
 
 
 def measure(repeats: int = 3) -> Dict[str, Record]:
@@ -214,6 +262,12 @@ def phase_report_rows(
         for phase in sorted(set(base_ph) | set(cur_ph)):
             b = float(base_ph.get(phase, 0.0))
             c = float(cur_ph.get(phase, 0.0))
+            if phase not in cur_ph:
+                status = "eliminated"
+            elif phase not in base_ph:
+                status = "new"
+            else:
+                status = "present"
             rows.append(
                 {
                     "benchmark": name,
@@ -221,6 +275,7 @@ def phase_report_rows(
                     "base_ms": round(b * 1e3, 3),
                     "cur_ms": round(c * 1e3, 3),
                     "delta_%": round(100.0 * (c - b) / b, 1) if b else "-",
+                    "status": status,
                 }
             )
     return rows
@@ -267,7 +322,17 @@ def compare(
             b = float(base_ph[phase])
             if b < PHASE_FLOOR_S:
                 continue
-            c = float(cur_ph.get(phase, 0.0))
+            if phase not in cur_ph:
+                # A baseline phase with no sample at all in the new run
+                # (e.g. resource.request after the hybrid fast path
+                # removed the holds) is an improvement, not a silent
+                # pass — report it explicitly, never fail on it.
+                lines.append(
+                    f"ELIMINATED {name:24s} phase {phase}: "
+                    f"{b*1e3:.2f} ms -> absent (no longer executed)"
+                )
+                continue
+            c = float(cur_ph[phase])
             pr = c / b
             if pr > 1 + phase_tolerance:
                 lines.append(
@@ -307,6 +372,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="repetitions per benchmark; best is kept (default 3)",
     )
     parser.add_argument(
+        "--fail-over", type=float, default=None, metavar="FRAC",
+        help="gate the exit code at this (larger) slowdown fraction "
+        "instead of --tolerance: verdict lines still report at the "
+        "normal tolerance, but only regressions beyond FRAC fail. "
+        "CI uses this to gate on real regressions while tolerating "
+        "runner-to-runner wall-clock noise",
+    )
+    parser.add_argument(
         "--phase-report", metavar="FILE", default=None,
         help="also write the per-(benchmark, phase) comparison as JSON "
         "rows to FILE (for the CI job summary)",
@@ -337,11 +410,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(rows, indent=1, sort_keys=True) + "\n"
         )
         print(f"wrote phase report to {args.phase_report}", file=sys.stderr)
-    regressions = [ln for ln in lines if ln.startswith("REGRESSION")]
+    gate_tol, gate_phase_tol = args.tolerance, args.phase_tolerance
+    if args.fail_over is not None:
+        gate_tol = max(gate_tol, args.fail_over)
+        gate_phase_tol = max(gate_phase_tol, args.fail_over)
+        gating = compare(baseline, current, gate_tol, gate_phase_tol)
+    else:
+        gating = lines
+    regressions = [ln for ln in gating if ln.startswith("REGRESSION")]
     if regressions:
         print(
             f"\n{len(regressions)} regression(s) beyond "
-            f"±{args.tolerance:.0%} / phase ±{args.phase_tolerance:.0%} "
+            f"±{gate_tol:.0%} / phase ±{gate_phase_tol:.0%} "
             "tolerance",
             file=sys.stderr,
         )

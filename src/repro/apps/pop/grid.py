@@ -69,14 +69,20 @@ def decompose(grid: POPGrid, ntasks: int) -> POPDecomposition:
         )
     aspect = grid.nx / grid.ny
     best = None
-    for py in range(1, ntasks + 1):
-        if ntasks % py:
+    # Enumerate divisor pairs from d <= sqrt(ntasks): O(sqrt n) instead of
+    # scanning every candidate py. Selection is unchanged — the same
+    # score, minimized with smallest-py tie-break, exactly as the linear
+    # scan's strict < kept the first (lowest-py) best.
+    for d in range(1, math.isqrt(ntasks) + 1):
+        if ntasks % d:
             continue
-        px = ntasks // py
-        # Prefer block aspect ratios near the grid's.
-        score = abs(math.log((px / py) / aspect))
-        if best is None or score < best[0]:
-            best = (score, px, py)
+        q = ntasks // d
+        for py in (d,) if d == q else (d, q):
+            px = ntasks // py
+            # Prefer block aspect ratios near the grid's.
+            score = abs(math.log((px / py) / aspect))
+            if best is None or (score, py) < (best[0], best[2]):
+                best = (score, px, py)
     assert best is not None
     _, px, py = best
     return POPDecomposition(grid, ntasks, px, py)

@@ -39,6 +39,11 @@ class Comm:
         self._inbox = Store(job.sim, name=f"inbox[{rank}]")
         self._coll_seq = 0
         self._group_key: Any = "world"
+        # Per-destination isend name/key strings, formatted once: a rank
+        # sends to the same few torus neighbours thousands of times.
+        self._send_names: dict = {}
+        # (source, tag) → receive-match predicate, built once per pair.
+        self._matchers: dict = {}
 
     # -- group plumbing (overridden by SubComm) -------------------------------
     def _costs(self):
@@ -84,16 +89,24 @@ class Comm:
         """Start a nonblocking send; returns a :class:`Request`."""
         self._check_peer(dest)
         n = payload_nbytes(obj) if nbytes is None else int(nbytes)
-        done = self.job.sim.event(name=f"isend {self.rank}->{dest}")
-        # The tie-break key makes same-time transfer wakeups — and hence
-        # NIC/link arbitration among simultaneous messages — follow rank
-        # order deterministically instead of queue insertion order, which
-        # is a schedule race (two exchanging pairs in VN mode would
-        # otherwise pipeline differently per tie-break permutation).
+        names = self._send_names.get(dest)
+        if names is None:
+            # The tie-break key makes same-time transfer wakeups — and
+            # hence NIC/link arbitration among simultaneous messages —
+            # follow rank order deterministically instead of queue
+            # insertion order, which is a schedule race (two exchanging
+            # pairs in VN mode would otherwise pipeline differently per
+            # tie-break permutation).
+            names = self._send_names[dest] = (
+                f"isend {self.rank}->{dest}",
+                f"xfer {self.rank}->{dest}",
+                f"xfer:{self.rank:06d}->{dest:06d}",
+            )
+        done = self.job.sim.event(name=names[0])
         self.job.sim.spawn(
             self._transfer(obj, dest, tag, n, done),
-            name=f"xfer {self.rank}->{dest}",
-            key=f"xfer:{self.rank:06d}->{dest:06d}",
+            name=names[1],
+            key=names[2],
         )
         return Request(done)
 
@@ -113,9 +126,12 @@ class Comm:
         yield req.event
 
     def _match(self, source: int, tag: int) -> Callable[[_Msg], bool]:
-        return lambda m: (source == ANY_SOURCE or m.source == source) and (
-            tag == ANY_TAG or m.tag == tag
-        )
+        matcher = self._matchers.get((source, tag))
+        if matcher is None:
+            matcher = self._matchers[(source, tag)] = lambda m: (
+                source == ANY_SOURCE or m.source == source
+            ) and (tag == ANY_TAG or m.tag == tag)
+        return matcher
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Start a nonblocking receive; the request's value is the payload."""

@@ -111,6 +111,11 @@ class MPIJob:
         self.comms: List[Comm] = [Comm(self, r) for r in range(ntasks)]
         self._coll: Dict[Tuple[Any, int, str], _CollCtx] = {}
         self._node_last_tx: Dict[int, float] = {}
+        # (src_rank, dst_rank) → static latency terms. Placement is fixed
+        # at job start, so hops / NIC sharing / both contention prices are
+        # computed once per pair instead of per message (the sharing scan
+        # is O(ranks) — it dominated isend before this cache).
+        self._lat_cache: Dict[Tuple[int, int], tuple] = {}
         # -- resilience state (inert unless a plan/policy is supplied) -----
         if faults is None:
             faults = current_plan()
@@ -144,37 +149,50 @@ class MPIJob:
         Dynamic part: the full interrupt-contention term when the sharing
         task has itself driven the NIC within the recent activity window.
         """
-        p = self.placement
-        hops = p.hops(src_rank, dst_rank)
-        if hops == 0:
+        entry = self._lat_cache.get((src_rank, dst_rank))
+        if entry is None:
+            p = self.placement
+            hops = p.hops(src_rank, dst_rank)
+            if hops == 0:
+                entry = (0, 0, 0, 0.0, 0.0)
+            else:
+                sharing = max(
+                    p.tasks_sharing_nic(src_rank), p.tasks_sharing_nic(dst_rank)
+                )
+                nodes = max(2, p.num_nodes_used)
+                entry = (
+                    sharing,
+                    p.node_of(src_rank),
+                    p.node_of(dst_rank),
+                    self.model.base_latency_s(
+                        hops=hops, contended_fraction=0.0, job_nodes=nodes
+                    ),
+                    self.model.base_latency_s(
+                        hops=hops, contended_fraction=1.0, job_nodes=nodes
+                    ),
+                )
+            self._lat_cache[(src_rank, dst_rank)] = entry
+        sharing, src_node, dst_node, lat_idle, lat_contended = entry
+        if sharing == 0:
             return 0.0  # intra-node path is priced by the network itself
-        sharing = max(p.tasks_sharing_nic(src_rank), p.tasks_sharing_nic(dst_rank))
-        contended = 0.0
         if sharing > 1:
             now = self.sim.now
-            for rank in (src_rank, dst_rank):
-                node = p.node_of(rank)
-                last = self._node_last_tx.get(node)
+            last_tx = self._node_last_tx
+            contended = False
+            for node in (src_node, dst_node):
+                last = last_tx.get(node)
                 # Same-time activity counts: simultaneous injection from
                 # the sharing core pays the interrupt surcharge too. The
                 # pricing order among same-time messages is pinned by the
                 # transfer processes' tie-break keys (Comm.isend), so
                 # this read-then-note sequence is schedule-invariant.
                 if last is not None and now - last <= _ACTIVITY_WINDOW_S:
-                    contended = 1.0
+                    contended = True
                     break
-        lat = self.model.base_latency_s(
-            hops=hops,
-            contended_fraction=contended,
-            job_nodes=max(2, p.num_nodes_used),
-        )
-        if sharing > 1:
-            self._note_tx(p.node_of(src_rank))
-            self._note_tx(p.node_of(dst_rank))
-        return lat
-
-    def _note_tx(self, node: int) -> None:
-        self._node_last_tx[node] = self.sim.now
+            last_tx[src_node] = now
+            last_tx[dst_node] = now
+            return lat_contended if contended else lat_idle
+        return lat_idle
 
     # -- local compute -------------------------------------------------------
     def _active_cores(self, rank: int) -> int:

@@ -13,7 +13,14 @@ Two interchangeable fidelities:
 
 from repro.network.mapping import Placement
 from repro.network.model import NetworkModel
-from repro.network.simnet import SimNetwork
+from repro.network.simnet import SimNetwork, hybrid_mode, set_hybrid_default
 from repro.network.topology import Torus3D
 
-__all__ = ["NetworkModel", "Placement", "SimNetwork", "Torus3D"]
+__all__ = [
+    "NetworkModel",
+    "Placement",
+    "SimNetwork",
+    "Torus3D",
+    "hybrid_mode",
+    "set_hybrid_default",
+]

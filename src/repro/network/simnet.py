@@ -28,6 +28,7 @@ tracer, the original in-memory byte accounting is used.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.machine.specs import GIGA, MICRO, Machine
@@ -43,6 +44,33 @@ from repro.simengine import (
 
 #: CAL: latency of the Catamount intra-socket memory-copy message path.
 INTRA_NODE_LATENCY_US = 0.8
+
+#: Default for :class:`SimNetwork`'s hybrid analytic/DES fast path
+#: (SMPI practice, see docs/PERFORMANCE.md). Module-global like the
+#: installed tracer, so drivers constructed deep inside ``repro run``
+#: pick up a ``hybrid_mode()`` override.
+_HYBRID_DEFAULT = True
+
+
+def set_hybrid_default(enabled: bool) -> bool:
+    """Set the default hybrid mode for new :class:`SimNetwork` instances;
+    returns the previous default. Prefer :func:`hybrid_mode`."""
+    global _HYBRID_DEFAULT
+    previous = _HYBRID_DEFAULT
+    _HYBRID_DEFAULT = bool(enabled)
+    return previous
+
+
+@contextmanager
+def hybrid_mode(enabled: bool):
+    """Context manager: networks constructed inside use ``enabled`` as
+    their hybrid fast-path default. Used by the equivalence tests to run
+    the same experiment with the fast path forced on and forced off."""
+    previous = set_hybrid_default(enabled)
+    try:
+        yield
+    finally:
+        set_hybrid_default(previous)
 
 
 class NetworkUnreachableError(RuntimeError):
@@ -102,14 +130,37 @@ def link_label(link: Link) -> str:
 class SimNetwork:
     """Message-granularity discrete-event network for a machine."""
 
-    def __init__(self, sim: Simulator, machine: Machine) -> None:
+    def __init__(
+        self, sim: Simulator, machine: Machine, hybrid: Optional[bool] = None
+    ) -> None:
         self.sim = sim
         self.machine = machine
         self.torus = Torus3D(machine.torus_dims)
         self._tracer = sim.tracer
+        #: Hybrid analytic/DES mode: price *uncontended* transfers by the
+        #: closed-form LogGP cost as a single scheduled completion instead
+        #: of the request/hold/release process chain (``None`` → module
+        #: default, see :func:`hybrid_mode`). Byte-identical to full DES:
+        #: the fast path claims the same slots and falls back the moment
+        #: any shared resource is busy, a tracer or race tracker needs to
+        #: observe the holds, or faults are enabled.
+        self.hybrid = _HYBRID_DEFAULT if hybrid is None else bool(hybrid)
+        #: Transfers completed via the hybrid fast path (diagnostics).
+        self.fast_transfers = 0
+        #: (src, dst) → (dimension-order route, resources in canonical
+        #: acquisition order). Fault-free routes are static, so both
+        #: paths reuse them instead of re-routing and re-sorting per
+        #: message.
+        self._path_cache: Dict[
+            Tuple[int, int], Tuple[List[Link], List[Resource]]
+        ] = {}
         self._nic_tx: Dict[int, Resource] = {}
         self._nic_rx: Dict[int, Resource] = {}
         self._links: Dict[Link, Resource] = {}
+        # Machine-static path bandwidths in bytes/s, computed once: the
+        # per-transfer hold time is nbytes / bandwidth.
+        self._path_bw_Bs = self.bottleneck_bw_GBs() * GIGA
+        self._intra_bw_Bs = self.intranode_bw_GBs() * GIGA
         #: Links seen by traced transfers (tracer mode's ranking domain).
         self._traced_links: Dict[Link, str] = {}
         #: Count of completed transfers (diagnostics).
@@ -232,7 +283,7 @@ class SimNetwork:
         if src_node == dst_node:
             yield Delay(INTRA_NODE_LATENCY_US * MICRO)
             if nbytes:
-                yield Delay(nbytes / (self.intranode_bw_GBs() * GIGA))
+                yield Delay(nbytes / self._intra_bw_Bs)
             self.transfers_completed += 1
             if span is not None:
                 tracer.end(span, self.sim.now, intra_node=True)
@@ -240,24 +291,56 @@ class SimNetwork:
 
         yield Delay(latency_s)
         if self.faults is None:
-            route = self.torus.route(src_node, dst_node)
+            route, ordered = self._path(src_node, dst_node)
+            idle = self.hybrid and tracer is None and self.sim.race is None
+            if idle:
+                for r in ordered:
+                    if r._in_use or r._waiters:
+                        idle = False
+                        break
+            if idle:
+                # Hybrid fast path: the whole route is idle, nothing needs
+                # to observe the holds (no tracer, no race tracker, no
+                # faults) — claim every slot directly and charge the
+                # closed-form cost as one scheduled completion. An
+                # uncontended DES transfer resumes synchronously from each
+                # ``request()`` (no queue pushes), so this schedules the
+                # exact same event sequence: one hold delay. Releasing via
+                # ``release()`` in DES order hands slots to any waiter
+                # that queued mid-hold, identically to the slow path.
+                for r in ordered:
+                    r._in_use = 1
+                    r._grants += 1
+                self.fast_transfers += 1
+                try:
+                    if nbytes:
+                        hold = nbytes / self._path_bw_Bs
+                        yield Delay(hold)
+                        for ln in route:
+                            self._charge_link(ln, nbytes, hold)
+                finally:
+                    for r in reversed(ordered):
+                        r.release()
+                self.transfers_completed += 1
+                return self.sim.now
         else:
             route = yield from self._resolve_route(src_node, dst_node)
-        resources: List[Tuple[tuple, Resource]] = [
-            (("nic_tx", src_node), self.nic_tx(src_node)),
-            (("nic_rx", dst_node), self.nic_rx(dst_node)),
-        ]
-        for ln in route:
-            resources.append((("link", ln), self.link(ln)))
-        # Global canonical acquisition order => no circular waits.
-        resources.sort(key=lambda kv: repr(kv[0]))
+            resources: List[Tuple[tuple, Resource]] = [
+                (("nic_tx", src_node), self.nic_tx(src_node)),
+                (("nic_rx", dst_node), self.nic_rx(dst_node)),
+            ]
+            for ln in route:
+                resources.append((("link", ln), self.link(ln)))
+            # Global canonical acquisition order => no circular waits.
+            resources.sort(key=lambda kv: repr(kv[0]))
+            ordered = [res for _, res in resources]
         acquired: List[Resource] = []
         try:
-            for _, res in resources:
+            for res in ordered:
                 yield res.request()
                 acquired.append(res)
             if nbytes:
-                hold = nbytes / (self.bottleneck_bw_GBs() * GIGA)
+                hold = nbytes / self._path_bw_Bs
                 yield Delay(hold)
                 for ln in route:
                     self._charge_link(ln, nbytes, hold)
@@ -270,6 +353,26 @@ class SimNetwork:
         if span is not None:
             tracer.end(span, self.sim.now, hops=len(route))
         return self.sim.now
+
+    def _path(self, src_node: int, dst_node: int):
+        """Cached fault-free route + resources in canonical acquisition
+        order (the ``repr``-sort makes acquisition deadlock-free by
+        construction; caching it removes per-message routing and sorting)."""
+        cached = self._path_cache.get((src_node, dst_node))
+        if cached is None:
+            route = self.torus.route(src_node, dst_node)
+            resources: List[Tuple[tuple, Resource]] = [
+                (("nic_tx", src_node), self.nic_tx(src_node)),
+                (("nic_rx", dst_node), self.nic_rx(dst_node)),
+            ]
+            for ln in route:
+                resources.append((("link", ln), self.link(ln)))
+            resources.sort(key=lambda kv: repr(kv[0]))
+            cached = self._path_cache[(src_node, dst_node)] = (
+                route,
+                [res for _, res in resources],
+            )
+        return cached
 
     def _resolve_route(self, src_node: int, dst_node: int):
         """Process-helper: find a usable route under the active fault state.

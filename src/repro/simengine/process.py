@@ -25,6 +25,23 @@ def _combinator_desc(kind: str, waitables: Any) -> str:
     return f"{kind}({shown})"
 
 
+def _describe(command: Any) -> str:
+    """Deadlock-report description of a wait command (computed lazily —
+    the hot path stores the command object and formats only when a
+    sanitizer report or a wait span actually needs the string)."""
+    if type(command) is Delay:
+        return f"Delay({command.dt:g})"
+    if isinstance(command, Event):
+        return command.name or "<anonymous event>"
+    if isinstance(command, Process):
+        return f"process {command.name!r}"
+    if isinstance(command, AllOf):
+        return _combinator_desc("AllOf", command.events)
+    if isinstance(command, AnyOf):
+        return _combinator_desc("AnyOf", command.events)
+    return repr(command)  # pragma: no cover - defensive
+
+
 class Process:
     """A running simulation activity wrapping a generator.
 
@@ -33,7 +50,7 @@ class Process:
     it and receive its return value.
     """
 
-    __slots__ = ("sim", "name", "key", "_gen", "done", "_waiting_on",
+    __slots__ = ("sim", "name", "key", "_gen", "done", "_waiting_cmd",
                  "_life_span", "_wait_span", "_epoch", "_waiting_event",
                  "_wait_handle")
 
@@ -56,7 +73,9 @@ class Process:
         self._gen = gen
         #: Event triggered with the generator's return value on completion.
         self.done: Event = Event(sim, name=f"{self.name}.done")
-        self._waiting_on: Optional[str] = None
+        #: The command currently suspending this process (None when
+        #: runnable/finished); :attr:`waiting_on` formats it on demand.
+        self._waiting_cmd: Any = None
         self._life_span = None
         self._wait_span = None
         # Resumption epoch: every resume/throw bumps it, and every pending
@@ -81,7 +100,7 @@ class Process:
             self.done.add_callback(self._end_life_span)
         # First step happens via the scheduler so that spawn() during a
         # callback cascade preserves deterministic ordering.
-        handle = sim._queue.push(sim.now, lambda: self._step(None), key=key)
+        handle = sim._queue.push(sim.now, self._start, key=key)
         if sim.prof is not None:
             handle.label = ("proc.start", self.name)
         sim._register_process(self)
@@ -96,7 +115,8 @@ class Process:
         """Description of the command currently suspending this process
         (an event/store/resource name), or None when runnable/finished.
         Maintained for the sanitizers' deadlock reports."""
-        return self._waiting_on
+        cmd = self._waiting_cmd
+        return None if cmd is None else _describe(cmd)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -124,13 +144,19 @@ class Process:
             self._wait_span = None
 
     # -- stepping ---------------------------------------------------------
+    def _start(self) -> None:
+        """Queue callback for the initial step (no epoch guard needed —
+        nothing can race the very first resumption)."""
+        self._step(None)
+
     def _step(self, send_value: Any) -> None:
-        if not self.alive:
+        if self.done._triggered:
             return
         self._epoch += 1
         self._waiting_event = None
-        self._close_wait_span()
-        self._waiting_on = None
+        if self._wait_span is not None:
+            self._close_wait_span()
+        self._waiting_cmd = None
         try:
             command = self._gen.send(send_value)
         except StopIteration as stop:
@@ -155,7 +181,7 @@ class Process:
             # that nothing will ever consume the event.
             waited.abandon()
         self._close_wait_span()
-        self._waiting_on = None
+        self._waiting_cmd = None
         try:
             command = self._gen.throw(exc)
         except StopIteration as stop:
@@ -168,37 +194,44 @@ class Process:
 
     def _handle(self, command: Any) -> None:
         sim = self.sim
-        epoch = self._epoch
-        if isinstance(command, Delay):
-            self._waiting_on = f"Delay({command.dt:g})"
-            self._wait_handle = sim._queue.push(
-                sim.now + command.dt, lambda: self._resume(epoch, None),
-                key=self.key,
+        if type(command) is Delay:
+            # Fused delay→resume: the wakeup is this bound method — no
+            # per-wait closure, no epoch capture. An interrupt that
+            # diverts the process *cancels* the queue entry (see
+            # ``_throw``), so a fired delay entry is never stale.
+            self._waiting_cmd = command
+            self._wait_handle = handle = sim._queue.push(
+                sim.now + command.dt, self._resume_wakeup, key=self.key
             )
             if sim.prof is not None:
-                self._wait_handle.label = ("proc.delay", self.name)
+                handle.label = ("proc.delay", self.name)
         elif isinstance(command, Event):
-            self._waiting_on = command.name or "<anonymous event>"
+            # Staleness check by identity, not epoch: ``_waiting_event``
+            # is cleared (and the wait abandoned) whenever the process
+            # moves on, and a one-shot pending event can never be waited
+            # on twice by the same process — so no per-wait closure.
+            self._waiting_cmd = command
             self._waiting_event = command
-            command.add_callback(lambda e: self._resume_from_event(epoch, e))
+            command.add_callback(self._resume_event_cb)
         elif isinstance(command, Process):
-            self._waiting_on = f"process {command.name!r}"
+            self._waiting_cmd = command
+            epoch = self._epoch
             command.done.add_callback(
                 lambda e: self._resume_from_event(epoch, e)
             )
         elif isinstance(command, AllOf):
-            self._waiting_on = _combinator_desc("AllOf", command.events)
-            self._wait_all(command, epoch)
+            self._waiting_cmd = command
+            self._wait_all(command, self._epoch)
         elif isinstance(command, AnyOf):
-            self._waiting_on = _combinator_desc("AnyOf", command.events)
-            self._wait_any(command, epoch)
+            self._waiting_cmd = command
+            self._wait_any(command, self._epoch)
         elif command is None:
             # ``yield`` with no argument: cooperative reschedule "now".
-            self._wait_handle = sim._queue.push(
-                sim.now, lambda: self._resume(epoch, None), key=self.key
+            self._wait_handle = handle = sim._queue.push(
+                sim.now, self._resume_wakeup, key=self.key
             )
             if sim.prof is not None:
-                self._wait_handle.label = ("proc.yield", self.name)
+                handle.label = ("proc.yield", self.name)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported command {command!r}"
@@ -207,18 +240,33 @@ class Process:
         if (
             tracer is not None
             and tracer.wait_spans
-            and epoch == self._epoch
-            and self._waiting_on is not None
+            and self._waiting_cmd is not None
         ):
             self._wait_span = tracer.begin(
-                f"proc/{self.name}", f"wait:{self._waiting_on}", sim.now
+                f"proc/{self.name}", f"wait:{self.waiting_on}", sim.now
             )
+
+    def _resume_wakeup(self) -> None:
+        """Wakeup for a Delay / bare-yield wait. No staleness check: the
+        entry is cancelled (never fires) when an interrupt or kill
+        diverts the process."""
+        self._wait_handle = None
+        self._step(None)
 
     def _resume(self, epoch: int, value: Any) -> None:
         self._wait_handle = None  # this entry just fired
         if epoch != self._epoch:
             return  # stale wakeup: the process was interrupted meanwhile
         self._step(value)
+
+    def _resume_event_cb(self, event: Event) -> None:
+        """Wakeup for a single-Event wait (see ``_handle``)."""
+        if event is not self._waiting_event:
+            return  # stale wakeup: the process was interrupted meanwhile
+        if event.failed:
+            self._throw(event.failure)  # type: ignore[arg-type]
+        else:
+            self._step(event.value)
 
     def _resume_from_event(self, epoch: int, event: Event) -> None:
         if epoch != self._epoch:

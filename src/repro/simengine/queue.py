@@ -19,12 +19,26 @@ Every entry records the ``seq`` of the entry that was executing when it
 was pushed (``parent``; ``-1`` for pushes outside the run loop), which is
 the scheduled-by edge of the happens-before relation used by
 ``Simulator(sanitize="race")``.
+
+Hot-path layout (ROADMAP item 1): the heap holds plain tuples
+``(time, group, key, rank1, rank2, entry)`` rather than comparable
+entry objects, so every sift during ``heappush``/``heappop`` compares
+natively in C — no Python-level ``__lt__`` calls on the hot path. The
+tie-break *order* is exactly the three-level rule above:
+
+* keyed entries:   ``(time, 0, key, seq,  0)``
+* unkeyed (identity): ``(time, 1, "", seq,  seq)``
+* unkeyed (permuted): ``(time, 1, "", mix(seed, parent), seq)``
+
+``seq`` is unique, so the trailing :class:`_Entry` slot is never
+compared. :class:`_Entry` remains the cancellable handle carrying the
+callback and the race/profiler bookkeeping (``seq``, ``parent``,
+``label``).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 _M64 = 0xFFFFFFFFFFFFFFFF
@@ -65,16 +79,20 @@ def _mix(seed: int, parent: int) -> int:
 
 
 class _Entry:
-    __slots__ = (
-        "time", "seq", "parent", "rank", "callback", "cancelled", "label",
-    )
+    """Cancellable handle for one scheduled callback.
+
+    Ordering lives in the heap tuples (see module docstring); the entry
+    itself carries the callback plus the scheduling provenance used by
+    the race tracker and the profiler.
+    """
+
+    __slots__ = ("time", "seq", "parent", "callback", "cancelled", "label")
 
     def __init__(
         self,
         time: float,
         seq: int,
         callback: Callable[[], Any],
-        key: Optional[str],
         parent: int,
     ) -> None:
         self.time = time
@@ -86,17 +104,10 @@ class _Entry:
         # when a profiler is attached (see repro.prof.profiler); None is
         # the universal fast path.
         self.label: Optional[Tuple[str, str]] = None
-        if key is not None:
-            # Explicitly keyed: pinned order, immune to permutation.
-            self.rank: tuple = (0, str(key), seq)
-        elif _PERM_SEED is None:
-            self.rank = (1, "", seq, seq)
-        else:
-            # Permute across parents, keep FIFO within a parent.
-            self.rank = (1, "", _mix(_PERM_SEED, parent), seq)
 
-    def __lt__(self, other: "_Entry") -> bool:
-        return (self.time, self.rank) < (other.time, other.rank)
+
+#: One heap item: ``(time, group, key, rank1, rank2, entry)``.
+_Item = Tuple[float, int, str, int, int, _Entry]
 
 
 class EventQueue:
@@ -107,8 +118,8 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
-        self._counter = itertools.count()
+        self._heap: List[_Item] = []
+        self._next_seq = 0
         self._live = 0
         # seq of the most recently popped entry: the scheduling parent of
         # every push made while its callback runs (-1 before the first pop).
@@ -135,8 +146,18 @@ class EventQueue:
         entries fire first, in key order) independent of any installed
         tie-break permutation.
         """
-        entry = _Entry(time, next(self._counter), callback, key, self._current_seq)
-        heapq.heappush(self._heap, entry)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = _Entry(time, seq, callback, self._current_seq)
+        if key is not None:
+            # Explicitly keyed: pinned order, immune to permutation.
+            item = (time, 0, str(key), seq, 0, entry)
+        elif _PERM_SEED is None:
+            item = (time, 1, "", seq, seq, entry)
+        else:
+            # Permute across parents, keep FIFO within a parent.
+            item = (time, 1, "", _mix(_PERM_SEED, self._current_seq), seq, entry)
+        heappush(self._heap, item)
         self._live += 1
         if self.prof is not None:
             self.prof.note_push(self._live)
@@ -153,7 +174,7 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live entry, or ``None`` if empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop_entry(self) -> _Entry:
         """Remove and return the earliest live entry.
@@ -164,7 +185,11 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
-        entry = heapq.heappop(self._heap)
+        entry = heappop(self._heap)[5]
+        # Mark consumed: a late cancel() on a handle whose entry already
+        # fired (e.g. a fault injector sweeping its handle list at job
+        # end) must be a no-op, not a spurious live-count decrement.
+        entry.cancelled = True
         self._live -= 1
         self._current_seq = entry.seq
         return entry
@@ -184,9 +209,14 @@ class EventQueue:
         """
         if delta == 0.0:
             return
-        for entry in self._heap:
+        # Mutate in place: the run loop holds a direct reference to this
+        # list, so rebinding ``self._heap`` would strand it mid-run.
+        heap = self._heap
+        for i, (time, group, key, r1, r2, entry) in enumerate(heap):
+            heap[i] = (time + delta, group, key, r1, r2, entry)
             entry.time += delta
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][5].cancelled:
+            heappop(heap)

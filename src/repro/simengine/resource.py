@@ -28,12 +28,20 @@ class Resource:
         resource.release()
     """
 
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_waiters",
+                 "_grants", "_releases", "_hold_spans", "_acquire_spans",
+                 "_tracer", "_track", "_ctr_queue", "_ctr_in_use",
+                 "_grant_name")
+
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        # Grant-event name, formatted once: request() is the hottest
+        # non-engine call in every DES bench.
+        self._grant_name = f"{name}.grant"
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         self._grants = 0
@@ -76,7 +84,7 @@ class Resource:
         if prof is not None:
             prof.push_phase("resource.request")
         try:
-            evt = self.sim.event(name=f"{self.name}.grant")
+            evt = self.sim.event(name=self._grant_name)
             evt.on_abandon(self._abandon_waiter)
             tracer = self._tracer
             if self._in_use < self.capacity:
@@ -205,11 +213,14 @@ class Store:
     waiting if none is present yet.
     """
 
+    __slots__ = ("sim", "name", "_items", "_getters", "_get_name")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[tuple] = deque()  # (event, match)
+        self._get_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -247,7 +258,7 @@ class Store:
         if prof is not None:
             prof.push_phase("store.get")
         try:
-            evt = self.sim.event(name=f"{self.name}.get")
+            evt = self.sim.event(name=self._get_name)
             evt.on_abandon(self._abandon_getter)
             for idx, item in enumerate(self._items):
                 if match is None or match(item):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 from repro.simengine.event import Event
@@ -274,22 +275,37 @@ class Simulator:
             return self._run_profiled(until, max_events)
         self._running = True
         processed = 0
+        # Hot loop: the queue internals are inlined (single cancelled
+        # scan per pop, native tuple comparisons, local bindings) — this
+        # loop dominates every DES benchmark, see BENCH_simulator.json.
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        race = self.race
         try:
-            while self._queue:
-                t = self._queue.peek_time()
-                assert t is not None
-                if until is not None and t > until:
-                    self.now = until
-                    return self.now
-                entry = self._queue.pop_entry()
+            while queue._live:
+                entry = heap[0][5]
+                if entry.cancelled:
+                    pop(heap)
+                    continue
                 time = entry.time
-                if time < self.now - 1e-15:
+                if until is not None and time > until:
+                    self.now = until
+                    return until
+                pop(heap)
+                # Mark consumed so a late cancel() on this handle (a fault
+                # injector sweeping its list at job end) is a no-op.
+                entry.cancelled = True
+                queue._live -= 1
+                queue._current_seq = entry.seq
+                if time > self.now:
+                    self.now = time
+                elif time < self.now - 1e-15:
                     raise RuntimeError(
                         f"time went backwards: {time} < {self.now}"
                     )
-                self.now = max(self.now, time)
-                if self.race is not None:
-                    self.race.begin_event(entry)
+                if race is not None:
+                    race.begin_event(entry)
                 entry.callback()
                 processed += 1
                 if max_events and processed > max_events:

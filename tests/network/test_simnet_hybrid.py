@@ -1,0 +1,118 @@
+"""Hybrid analytic/DES fast-path equivalence (ISSUE 9 tentpole).
+
+``SimNetwork`` prices *uncontended* transfers by the closed-form LogGP
+cost as a single scheduled completion (SMPI practice) and falls back to
+full DES the moment any shared resource is busy, a tracer or race
+tracker needs to observe the holds, or faults are enabled. The contract
+is byte-identicality: experiment rows and counter totals must not change
+by a single bit between ``hybrid=True`` and ``hybrid=False``.
+"""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan
+from repro.machine.configs import xt4
+from repro.mpi.job import MPIJob
+from repro.network.simnet import hybrid_mode, set_hybrid_default
+from repro.obs import Tracer
+
+
+def _mixed_main(comm):
+    """Both traffic shapes: sequential pingpong legs (idle routes — fast
+    path eligible) and simultaneous ring exchange (contended — DES)."""
+    # Distance-2 neighbours: adjacent ranks' routes share the middle
+    # link, so the simultaneous exchange below genuinely contends.
+    peer = (comm.rank + 2) % comm.size
+    left = (comm.rank - 2) % comm.size
+    for i in range(5):
+        if comm.rank == 0:
+            yield from comm.send(b"p" * 4096, dest=1, nbytes=4096, tag=100 + i)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0, tag=100 + i)
+    for lap in range(2):
+        yield from comm.sendrecv(b"r" * 32768, dest=peer, source=left, tag=lap)
+    yield from comm.barrier()
+    return comm.wtime()
+
+
+def _run(hybrid, plan=None, tracer=None):
+    with hybrid_mode(hybrid):
+        job = MPIJob(xt4("SN"), 8, tracer=tracer, faults=plan)
+        result = job.run(_mixed_main)
+    return job, result
+
+
+def _snapshot(job, result):
+    """Everything a hybrid run could possibly perturb, bit-for-bit."""
+    net = job.network
+    return {
+        "elapsed_s": result.elapsed_s,
+        "returns": list(result.returns),
+        "transfers_completed": net.transfers_completed,
+        "link_bytes": dict(net.link_bytes),
+        "link_busy_s": dict(net.link_busy_s),
+    }
+
+
+def test_hybrid_mode_context_manager_restores_default():
+    assert set_hybrid_default(True) is True  # repo default
+    with hybrid_mode(False):
+        with hybrid_mode(True):
+            pass
+    job, _ = _run(hybrid=True)
+    assert job.network.hybrid is True
+
+
+def test_hybrid_vs_des_bit_identical_counters_and_results():
+    job_fast, res_fast = _run(hybrid=True)
+    job_slow, res_slow = _run(hybrid=False)
+    assert _snapshot(job_fast, res_fast) == _snapshot(job_slow, res_slow)
+    # The fast path actually ran (pingpong legs) AND fell back under
+    # contention (simultaneous ring exchange) — both sides exercised.
+    assert job_fast.network.fast_transfers > 0
+    assert job_fast.network.fast_transfers < job_fast.network.transfers_completed
+    assert job_slow.network.fast_transfers == 0
+
+
+def test_fast_path_disables_itself_under_tracer():
+    job, _ = _run(hybrid=True, tracer=Tracer())
+    assert job.network.fast_transfers == 0
+    assert job.network.transfers_completed > 0
+
+
+STALL_AT_S = 1e-5
+STALL_FOR_S = 2e-4
+
+
+def test_fast_path_disables_itself_under_faults():
+    plan = FaultPlan(
+        [FaultEvent(t_s=STALL_AT_S, kind="nic_stall", node=2,
+                    duration_s=STALL_FOR_S)]
+    )
+    job_fast, res_fast = _run(hybrid=True, plan=plan)
+    job_slow, res_slow = _run(hybrid=False, plan=plan)
+    assert job_fast.network.fast_transfers == 0
+    assert job_fast.network.transfers_completed > 0
+    assert _snapshot(job_fast, res_fast) == _snapshot(job_slow, res_slow)
+
+
+@pytest.mark.parametrize("exp_id", ["fig12_13", "fig22"])
+def test_driver_rows_bit_identical_across_hybrid_modes(exp_id):
+    from repro.core import get_experiment
+
+    driver = get_experiment(exp_id)
+    with hybrid_mode(True):
+        fast = driver().to_dict()
+    with hybrid_mode(False):
+        slow = driver().to_dict()
+    assert fast == slow
+
+
+def test_fig22_des_companion_bit_identical_across_hybrid_modes():
+    from repro.experiments.fig22_s3d import des_companion
+
+    with hybrid_mode(True):
+        fast = des_companion()
+    with hybrid_mode(False):
+        slow = des_companion()
+    assert fast == slow

@@ -87,6 +87,27 @@ def test_hotspot_report_tie_break_agrees_across_backends():
     assert links == sorted(links, key=repr)
 
 
+@pytest.mark.parametrize("hybrid", [False, True])
+def test_diagnostics_agree_across_backends_in_hybrid_mode(hybrid):
+    """Counter-path (traced, always full DES) and resource-path (untraced,
+    optionally hybrid) must agree — same links, same bytes, same ORDER —
+    even when the fast path skips the resource holds entirely."""
+    from repro.network.simnet import hybrid_mode
+
+    with hybrid_mode(hybrid):
+        job_plain, res_plain = _run()
+    job_traced, res_traced = _run(Tracer())
+    assert res_plain.elapsed_s == res_traced.elapsed_s
+    plain = job_plain.network.hotspot_report(top=100)
+    traced = job_traced.network.hotspot_report(top=100)
+    assert [ln for ln, _b in plain] == [ln for ln, _b in traced]
+    assert dict(plain) == pytest.approx(dict(traced))
+    for ln, _b in plain:
+        assert job_plain.network.utilization(ln) == pytest.approx(
+            job_traced.network.utilization(ln)
+        )
+
+
 def test_link_label_is_stable():
     assert link_label(((0, 1, 0), 0, 1)) == "0,1,0.+x"
     assert link_label(((3, 0, 2), 2, -1)) == "3,0,2.-z"

@@ -91,7 +91,74 @@ def test_phase_report_rows():
     assert rows == [{
         "benchmark": name, "phase": "proc.delay",
         "base_ms": 500.0, "cur_ms": 750.0, "delta_%": 50.0,
+        "status": "present",
     }]
+
+
+def test_phase_report_rows_mark_eliminated_and_new_phases():
+    mod = _load_module()
+    name = sorted(mod.BENCHMARKS)[0]
+    rows = mod.phase_report_rows(
+        {name: {"best_s": 1.0, "phases": {"resource.request": 0.1}}},
+        {name: {"best_s": 1.0, "phases": {"bench.host": 0.2}}},
+    )
+    by_phase = {r["phase"]: r["status"] for r in rows}
+    assert by_phase == {"resource.request": "eliminated", "bench.host": "new"}
+
+
+def test_compare_reports_eliminated_phases_without_failing():
+    """A baseline phase absent from the new run (the hybrid fast path
+    removed the resource holds) used to be a silent pass — it must be an
+    explicit, non-failing ELIMINATED line."""
+    mod = _load_module()
+    name = sorted(mod.BENCHMARKS)[0]
+    baseline = {name: {"best_s": 1.0, "phases": {"resource.request": 0.1}}}
+    current = {name: {"best_s": 1.0, "phases": {}}}
+    lines = mod.compare(baseline, current, 0.20, phase_tolerance=0.50)
+    elim = [ln for ln in lines if ln.startswith("ELIMINATED")]
+    assert len(elim) == 1 and "resource.request" in elim[0]
+    assert not [ln for ln in lines if ln.startswith("REGRESSION")]
+    # Sub-floor phases disappear silently (noise, not a subsystem).
+    tiny = mod.compare(
+        {name: {"best_s": 1.0, "phases": {"store.put": 0.001}}},
+        current, 0.20, phase_tolerance=0.50,
+    )
+    assert not [ln for ln in tiny if ln.startswith("ELIMINATED")]
+
+
+def test_fail_over_gates_looser_than_tolerance(tmp_path):
+    """--fail-over reports at the normal tolerance but only fails the
+    exit code beyond the (larger) fail-over fraction."""
+    mod = _load_module()
+    baseline = tmp_path / "bench.json"
+    # A baseline 50x faster than reality: every bench then shows ~5000%
+    # of baseline — far beyond --tolerance whatever the runner load, yet
+    # far within an absurdly large --fail-over gate (big enough that no
+    # cold-import or loaded-runner spike can reach it with --repeats 1).
+    real = mod.measure(1)
+    doc = {
+        "schema": 2,
+        "benchmarks": {
+            name: {"best_s": rec["best_s"] / 50, "phases": {}}
+            for name, rec in real.items()
+        },
+    }
+    baseline.write_text(json.dumps(doc))
+    strict = subprocess.run(
+        [sys.executable, str(SCRIPT), "--repeats", "1",
+         "--tolerance", "0.2", "--baseline", str(baseline)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert strict.returncode == 1, strict.stdout + strict.stderr
+    gated = subprocess.run(
+        [sys.executable, str(SCRIPT), "--repeats", "1",
+         "--tolerance", "0.2", "--fail-over", "100000",
+         "--baseline", str(baseline)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    # The verdict lines still show the strict-tolerance regressions.
+    assert "REGRESSION" in gated.stdout
 
 
 def test_update_then_compare_round_trip(tmp_path):
@@ -105,6 +172,11 @@ def test_update_then_compare_round_trip(tmp_path):
     doc = json.loads(baseline.read_text())
     assert doc["schema"] == 2
     assert all("phases" in rec for rec in doc["benchmarks"].values())
+    # Driver benches are no longer phase-blind: every benchmark records
+    # at least the host-side remainder.
+    assert all(
+        "bench.host" in rec["phases"] for rec in doc["benchmarks"].values()
+    )
     # A generous tolerance makes the immediate re-compare deterministic
     # even on a noisy box.
     compare = subprocess.run(
