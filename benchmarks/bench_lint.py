@@ -56,6 +56,25 @@ def test_lint_warm(benchmark, lint_files, tmp_path):
     assert program.stats["findings_hits"] == len(lint_files)
 
 
+def test_warm_cache_serves_sl9_findings_without_parsing(tmp_path):
+    # the SL9xx perf family is interprocedural (process classification,
+    # installer aliases) — make sure enabling it kept the zero-parse
+    # warm-run invariant, findings cache round-trip included
+    files = expand_paths(SCOPE) + ["tests/lint/fixtures/bad_perf.py"]
+    cache = LintCache(tmp_path / "cache")
+    cold = Program(files, cache=cache)
+    cold_sl9 = [f for f in cold.lint_all() if f.rule.startswith("SL9")]
+    assert cold_sl9  # the seeded fixture fires
+    warm = Program(files, cache=cache)
+    warm_sl9 = [f for f in warm.lint_all() if f.rule.startswith("SL9")]
+    assert warm.stats["parsed"] == 0
+    assert warm.parsed_paths() == []
+    assert warm.stats["findings_hits"] == len(files)
+    assert warm_sl9 == cold_sl9
+    # the SL901 autofix survives the cache round-trip
+    assert any(f.fix is not None for f in warm_sl9)
+
+
 def test_warm_is_measurably_faster_than_cold(lint_files, tmp_path):
     # direct wall-clock comparison (independent of pytest-benchmark
     # rounds): the warm median must beat the cold median outright

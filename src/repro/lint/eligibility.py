@@ -1,0 +1,303 @@
+"""Static fast-path eligibility certifier.
+
+The hybrid network fast path (:mod:`repro.network.simnet`) is only taken
+when no process-global observer is installed: a tracer
+(:func:`repro.obs.tracer.install`), a fault plan
+(:func:`repro.faults.plan.install_plan`) or a profiler
+(:func:`repro.prof.profiler.install_profiler`) forces every transfer
+through the slow discrete-event route. A single stray import-time
+``install(...)`` therefore silently de-optimises *every* driver in the
+process — SL904 catches the import-time case, and this module proves the
+stronger interprocedural property per experiment driver:
+
+    starting from the ``@register("<exp id>")`` entry point, no
+    installer call is reachable through the project call graph.
+
+The proof walks the same :class:`~repro.lint.callgraph.SymbolTable`
+summaries the lint rules use, extended with two edge kinds the plain
+resolver skips: **class instantiation** (``MPIJob(machine, n)`` adds an
+edge to ``MPIJob.__init__`` and records the class) and **instance
+method calls** (``job = MPIJob(...)`` then ``job.run(main)`` adds a
+``MPIJob.run`` edge — method edges are added only for methods actually
+invoked on a tracked instance, never for every method of an
+instantiated class, which keeps app/benchmark models out of drivers
+that never call them). Function references passed as arguments
+(``job.run(main)``) are chased too.
+
+Each driver gets one of three verdicts:
+
+* ``fast`` — a :class:`~repro.network.simnet.SimNetwork` (directly or
+  via :class:`~repro.mpi.job.MPIJob`) is reachable and no installer is:
+  the run is certified eligible for the hybrid fast path.
+* ``blocked`` — an installer call is reachable; ``blockers`` lists the
+  offending function keys.
+* ``no-network`` — the driver never constructs a simulated network
+  (purely analytic model); eligibility is moot.
+
+:func:`runtime_fast_transfers` is the ground truth the certificate is
+cross-checked against: it runs each driver with the module-level
+transfer counters reset and reports ``(fast, total)`` — the static
+verdict is ``fast`` iff the runtime observed ``fast > 0``
+(``repro-lint --eligibility-check`` and the tier-1 agreement test
+enforce this for all registered drivers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import SymbolTable
+from repro.lint.check_perf import INSTALLER_KEYS
+
+#: Classes whose instantiation means "this driver simulates a network".
+NETWORK_CLASSES = frozenset(
+    {("repro.mpi.job", "MPIJob"), ("repro.network.simnet", "SimNetwork")}
+)
+
+#: Package prefix whose ``@register(...)``-decorated functions are the
+#: certification entry points.
+ENTRY_PACKAGE = "repro.experiments"
+
+
+@dataclass
+class Eligibility:
+    """Certificate for one experiment driver."""
+
+    exp_id: str
+    entry: str  # function key "module:qualname"
+    verdict: str  # "fast" | "blocked" | "no-network"
+    blockers: List[str] = field(default_factory=list)  # reachable installers
+    networks: List[str] = field(default_factory=list)  # instantiated net classes
+    reachable: int = 0  # project functions reached
+
+    def to_dict(self) -> dict:
+        return {
+            "exp_id": self.exp_id,
+            "entry": self.entry,
+            "verdict": self.verdict,
+            "blockers": self.blockers,
+            "networks": self.networks,
+            "reachable": self.reachable,
+        }
+
+
+# -- entry discovery ---------------------------------------------------------
+
+def discover_entries(table: SymbolTable) -> List[Tuple[str, str]]:
+    """``(exp_id, function key)`` for every registered driver in scope."""
+    out: List[Tuple[str, str]] = []
+    for module in sorted(table.modules):
+        if not module.startswith(ENTRY_PACKAGE):
+            continue
+        summary = table.modules[module]
+        for qual in sorted(summary.functions):
+            for dec in summary.functions[qual].decorators:
+                dec = tuple(dec)
+                if dec[0] == "call" and dec[1] == "register" and dec[2]:
+                    out.append((dec[2], f"{module}:{qual}"))
+    return out
+
+
+# -- class resolution --------------------------------------------------------
+
+def _resolve_class(
+    table: SymbolTable, module: str, name: str
+) -> Optional[Tuple[str, str]]:
+    """``(module, ClassName)`` for ``name`` seen from ``module``.
+
+    Mirrors :meth:`SymbolTable.resolve_symbol`'s alias chase, but the
+    fixed point is "a module defining methods ``name.*``" — summaries
+    carry no class list, so a class is recognised by its methods.
+    """
+    for _ in range(SymbolTable.MAX_HOPS):
+        summary = table.modules.get(module)
+        if summary is None:
+            return None
+        prefix = f"{name}."
+        if any(q.startswith(prefix) for q in summary.functions):
+            return (module, name)
+        target = summary.aliases.get(name)
+        if target is None or target in table.modules or "." not in target:
+            return None
+        module, name = target.rsplit(".", 1)
+    return None
+
+
+def _class_of_spec(
+    table: SymbolTable, module: str, spec: Sequence
+) -> Optional[Tuple[str, str]]:
+    """The class a constructor-call spec names, or None."""
+    spec = tuple(spec)
+    if not spec:
+        return None
+    if spec[0] == "name":
+        return _resolve_class(table, module, spec[1])
+    if spec[0] == "mod":
+        _, alias, attr = spec
+        summary = table.modules.get(module)
+        if summary is None:
+            return None
+        target = summary.aliases.get(alias, alias)
+        if target in table.modules:
+            return _resolve_class(table, target, attr)
+    return None
+
+
+# -- reachability ------------------------------------------------------------
+
+def reachable_from(
+    table: SymbolTable, entry_key: str
+) -> Tuple[Set[str], Set[Tuple[str, str]]]:
+    """``(function keys, instantiated classes)`` reachable from an entry."""
+    seen: Set[str] = set()
+    classes: Set[Tuple[str, str]] = set()
+    stack = [entry_key]
+    while stack:
+        key = stack.pop()
+        if key in seen:
+            continue
+        info = table.function(key)
+        if info is None:
+            continue
+        seen.add(key)
+        module = key.partition(":")[0]
+        cls_hint = info.qualname.split(".", 1)[0] if info.is_method else None
+        for site in info.calls:
+            spec = tuple(site.spec)
+            target = table.resolve_call(module, spec, cls_hint)
+            if target is not None:
+                stack.append(target)
+            else:
+                cls = _class_of_spec(table, module, spec)
+                if cls is not None:
+                    # instantiation: record the class, enter __init__
+                    classes.add(cls)
+                    stack.append(f"{cls[0]}:{cls[1]}.__init__")
+                elif spec[0] == "mod" and spec[1] in info.instances:
+                    # method call on a locally-constructed instance
+                    inst = _class_of_spec(
+                        table, module, tuple(info.instances[spec[1]])
+                    )
+                    if inst is not None:
+                        stack.append(f"{inst[0]}:{inst[1]}.{spec[2]}")
+            # function references passed as arguments (callbacks/mains)
+            for desc in list(site.args) + list(site.kwargs.values()):
+                desc = tuple(desc)
+                if desc[0] == "name":
+                    ref = table.resolve_symbol(module, desc[1])
+                    if ref is not None:
+                        stack.append(ref)
+    return seen, classes
+
+
+# -- certification -----------------------------------------------------------
+
+def certify(table: SymbolTable) -> List[Eligibility]:
+    """One :class:`Eligibility` per discovered driver, sorted by id."""
+    out: List[Eligibility] = []
+    for exp_id, entry in discover_entries(table):
+        funcs, classes = reachable_from(table, entry)
+        blockers = sorted(funcs & INSTALLER_KEYS)
+        networks = sorted(
+            f"{m}:{c}" for (m, c) in classes if (m, c) in NETWORK_CLASSES
+        )
+        if blockers:
+            verdict = "blocked"
+        elif networks:
+            verdict = "fast"
+        else:
+            verdict = "no-network"
+        out.append(
+            Eligibility(exp_id, entry, verdict, blockers, networks, len(funcs))
+        )
+    out.sort(key=lambda e: e.exp_id)
+    return out
+
+
+def certify_program(program) -> List[Eligibility]:
+    """Certify every driver in a :class:`repro.lint.program.Program`."""
+    return certify(program.table)
+
+
+# -- runtime ground truth ----------------------------------------------------
+
+def runtime_fast_transfers(
+    exp_ids: Optional[Iterable[str]] = None,
+) -> Dict[str, Tuple[int, int]]:
+    """``{exp_id: (fast, total)}`` network transfers observed per driver.
+
+    Runs each driver with the module transfer counters reset first, so
+    the numbers are attributable to that driver alone. Driver-level
+    memoisation (``@lru_cache`` sweeps that shield the render pass from
+    re-simulating) is cleared per experiment module — a primed cache
+    would skip the simulation entirely and report zero transfers for a
+    genuinely fast driver.
+    """
+    import sys
+
+    from repro.core.registry import all_experiments, driver_module, get_experiment
+    from repro.network import simnet
+
+    out: Dict[str, Tuple[int, int]] = {}
+    for exp_id in exp_ids if exp_ids is not None else all_experiments():
+        driver = get_experiment(exp_id)
+        module = sys.modules.get(driver_module(exp_id))
+        for name in dir(module):
+            clear = getattr(getattr(module, name, None), "cache_clear", None)
+            if callable(clear):
+                clear()
+        simnet.reset_transfer_totals()
+        try:
+            driver()
+            out[exp_id] = simnet.transfer_totals()
+        finally:
+            simnet.reset_transfer_totals()
+    return out
+
+
+def cross_check(
+    verdicts: Sequence[Eligibility],
+    runtime: Dict[str, Tuple[int, int]],
+) -> List[str]:
+    """Experiment ids where the static verdict disagrees with runtime.
+
+    Agreement contract: ``verdict == "fast"`` iff the driver completed
+    at least one fast-path transfer.
+    """
+    mismatches: List[str] = []
+    for v in verdicts:
+        if v.exp_id not in runtime:
+            continue
+        fast, _total = runtime[v.exp_id]
+        if (v.verdict == "fast") != (fast > 0):
+            mismatches.append(v.exp_id)
+    return mismatches
+
+
+def render_report(
+    verdicts: Sequence[Eligibility],
+    runtime: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> str:
+    """Human-readable eligibility table (stable ordering)."""
+    lines = ["fast-path eligibility (static call-graph certificate)", ""]
+    width = max((len(v.exp_id) for v in verdicts), default=6)
+    for v in verdicts:
+        line = f"  {v.exp_id:<{width}}  {v.verdict:<10}  reach={v.reachable}"
+        if v.networks:
+            line += "  via=" + ",".join(n.split(":")[-1] for n in v.networks)
+        if v.blockers:
+            line += "  blocked-by=" + ",".join(v.blockers)
+        if runtime is not None and v.exp_id in runtime:
+            fast, total = runtime[v.exp_id]
+            agree = (v.verdict == "fast") == (fast > 0)
+            line += f"  runtime={fast}/{total} {'agree' if agree else 'MISMATCH'}"
+        lines.append(line)
+    fast_n = sum(1 for v in verdicts if v.verdict == "fast")
+    blocked_n = sum(1 for v in verdicts if v.verdict == "blocked")
+    lines.append("")
+    lines.append(
+        f"  {len(verdicts)} driver(s): {fast_n} fast, {blocked_n} blocked, "
+        f"{len(verdicts) - fast_n - blocked_n} no-network"
+    )
+    return "\n".join(lines) + "\n"

@@ -19,8 +19,9 @@ produced them, so a second ``--fix`` run emits an empty diff.
 from __future__ import annotations
 
 import difflib
+import hashlib
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.core import Edit, Finding
 
@@ -28,7 +29,7 @@ from repro.lint.core import Edit, Finding
 #: this set never carry fixes; the table is the documented contract.
 FIXABLE_RULES = frozenset(
     {"SL101", "SL102", "SL103", "SL104", "SL203", "SL501",
-     "SL601", "SL602", "SL603", "SL801", "SL802"}
+     "SL601", "SL602", "SL603", "SL801", "SL802", "SL901"}
 )
 
 
@@ -101,12 +102,23 @@ def _overlaps(
 
 
 def fix_files(
-    findings: Iterable[Finding], write: bool = False
-) -> Tuple[Dict[str, str], List[Finding]]:
+    findings: Iterable[Finding],
+    write: bool = False,
+    expected_sources: Optional[Dict[str, str]] = None,
+) -> Tuple[Dict[str, str], List[Finding], List[str]]:
     """Compute (and optionally write) fixed file contents.
 
-    Returns ``(diff by path, applied findings)``. Paths whose fixes all
-    got skipped produce no diff entry.
+    Returns ``(diff by path, applied findings, refused paths)``. Paths
+    whose fixes all got skipped produce no diff entry.
+
+    ``expected_sources`` maps each path to the source text the findings
+    were computed against (:meth:`repro.lint.program.Program.source_of`).
+    A file whose on-disk content no longer matches was edited after the
+    lint pass parsed it — its fix spans point at stale coordinates, so
+    the file is *refused* (reported in the third element, never written)
+    instead of silently clobbering the concurrent edit. Re-run the lint
+    to fix it. Without ``expected_sources`` no guard applies (the
+    historical behaviour, kept for in-memory callers).
     """
     by_path: Dict[str, List[Finding]] = {}
     for f in findings:
@@ -114,12 +126,18 @@ def fix_files(
             by_path.setdefault(f.path, []).append(f)
     diffs: Dict[str, str] = {}
     applied_all: List[Finding] = []
+    refused: List[str] = []
     for path in sorted(by_path):
         p = Path(path)
         try:
             source = p.read_text(encoding="utf-8")
         except OSError:
             continue
+        if expected_sources is not None:
+            expected = expected_sources.get(path)
+            if expected is not None and _digest(expected) != _digest(source):
+                refused.append(path)
+                continue
         fixed, applied = apply_fixes(source, by_path[path])
         if not applied or fixed == source:
             continue
@@ -127,7 +145,11 @@ def fix_files(
         diffs[path] = unified_diff(source, fixed, path)
         if write:
             p.write_text(fixed, encoding="utf-8")
-    return diffs, applied_all
+    return diffs, applied_all, refused
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def unified_diff(old: str, new: str, path: str) -> str:

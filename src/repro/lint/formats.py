@@ -32,6 +32,36 @@ def render_json(findings: Iterable[Finding]) -> str:
     ) + "\n"
 
 
+#: Profile tier → SARIF severity. Unweighted findings (no profile
+#: supplied, or a non-perf rule) keep the historical "error" level.
+TIER_LEVELS = {"hot": "error", "warm": "warning", "note": "note"}
+
+
+def _sarif_result(f: Finding) -> dict:
+    result = {
+        "ruleId": f.rule,
+        "level": TIER_LEVELS.get(f.tier, "error") if f.tier else "error",
+        "message": {"text": f"[{f.family}] {f.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if f.weight is not None:
+        result["properties"] = {"weight": f.weight, "tier": f.tier}
+    return result
+
+
 def render_sarif(findings: Iterable[Finding]) -> str:
     rules: List[dict] = [
         {
@@ -41,28 +71,7 @@ def render_sarif(findings: Iterable[Finding]) -> str:
         }
         for rule, desc in sorted(all_rules().items())
     ]
-    results = [
-        {
-            "ruleId": f.rule,
-            "level": "error",
-            "message": {"text": f"[{f.family}] {f.message}"},
-            "locations": [
-                {
-                    "physicalLocation": {
-                        "artifactLocation": {
-                            "uri": f.path.replace("\\", "/"),
-                            "uriBaseId": "SRCROOT",
-                        },
-                        "region": {
-                            "startLine": f.line,
-                            "startColumn": f.col + 1,
-                        },
-                    }
-                }
-            ],
-        }
-        for f in findings
-    ]
+    results = [_sarif_result(f) for f in findings]
     doc = {
         "$schema": SARIF_SCHEMA,
         "version": "2.1.0",

@@ -1,0 +1,146 @@
+"""Profile-guided finding weights: rank SL9xx findings by phase hotness.
+
+A perf lint finding matters in proportion to how hot the engine phase it
+taxes actually is *in this workload*. ``repro-lint --profile DIR``
+ingests the artifacts :mod:`repro.prof` records (``<exp>.profile.json``
+wall-time phase breakdowns) plus the checked-in ``BENCH_simulator.json``
+phase tables, folds them into one normalized phase-fraction vector, and
+weights each SL9xx finding by the summed fraction of the phases its rule
+taxes (:data:`RULE_PHASE_AFFINITY`). The weight maps to a tier:
+
+* ``hot``  — weight ≥ 0.20: the rule's phases dominate the profile;
+  the finding is promoted (SARIF level ``error``).
+* ``warm`` — weight ≥ 0.05: worth fixing (SARIF ``warning``).
+* ``note`` — the phases are cold here; keep it as a note.
+
+SL904 (import-time installer) is always weight 1.0: it does not tax a
+phase, it disables the fast path for the whole process.
+
+Everything is deterministic: fractions come from sorted artifact files,
+weights are rounded to four decimals, and the re-rank sort key is total
+(descending weight, then path/line/col/rule), so the same profile input
+yields byte-identical output — the SARIF artifact is diffable in CI.
+
+Weights are attached *after* the findings cache: cached findings never
+carry them, so a profile change re-ranks without invalidating a single
+cache entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+#: Engine phases each SL9xx rule taxes. A trailing ``.`` matches a phase
+#: prefix (``proc.`` covers ``proc.start``, ``proc.delay``, …); ``*``
+#: means the rule is workload-independent (always weight 1.0).
+RULE_PHASE_AFFINITY: Dict[str, Tuple[str, ...]] = {
+    "SL901": ("engine.callback", "engine.queue"),  # per-event allocation
+    "SL902": ("engine.queue",),  # heap/slots contract
+    "SL903": ("proc.", "event.wake"),  # eager wait labels
+    "SL904": ("*",),  # disables the fast path process-wide
+    "SL905": ("proc.", "event.wake"),  # per-event linear scans
+}
+
+TIER_HOT = 0.20
+TIER_WARM = 0.05
+
+#: The checked-in phase breakdown used when no recorded profile is given
+#: (repo root, written by ``benchmarks/bench_simulator.py``).
+DEFAULT_BENCH = "BENCH_simulator.json"
+BENCH_SCHEMA = 2
+
+
+def load_phase_fractions(
+    profile_dir: Optional[str] = None,
+    bench_path: Optional[str] = DEFAULT_BENCH,
+) -> Dict[str, float]:
+    """Normalized phase → fraction-of-total from every available source.
+
+    ``profile_dir`` contributes each ``*.profile.json`` (self-time per
+    phase, nanoseconds); ``bench_path`` contributes the checked-in
+    benchmark phase tables (seconds). Missing sources contribute
+    nothing; an empty result means "no profile data" and the caller
+    should skip weighting.
+    """
+    totals: Dict[str, float] = {}
+    if profile_dir is not None:
+        from repro.prof.export import load_profile
+
+        for artifact in sorted(Path(profile_dir).glob("*.profile.json")):
+            try:
+                doc = load_profile(str(artifact))
+            except (OSError, ValueError, json.JSONDecodeError):
+                continue
+            for name, rec in doc.get("phases", {}).items():
+                totals[name] = totals.get(name, 0.0) + rec.get("self_ns", 0) / 1e9
+    if bench_path is not None and Path(bench_path).is_file():
+        try:
+            doc = json.loads(Path(bench_path).read_text())
+        except (OSError, json.JSONDecodeError):
+            doc = {}
+        if doc.get("schema") == BENCH_SCHEMA:
+            for entry in doc.get("benchmarks", {}).values():
+                for name, seconds in entry.get("phases", {}).items():
+                    totals[name] = totals.get(name, 0.0) + float(seconds)
+    grand = sum(totals.values())
+    if grand <= 0.0:
+        return {}
+    return {name: totals[name] / grand for name in sorted(totals)}
+
+
+def weight_for(rule: str, fractions: Dict[str, float]) -> Optional[float]:
+    """Hotness weight for ``rule``, or None for non-perf rules."""
+    patterns = RULE_PHASE_AFFINITY.get(rule)
+    if patterns is None:
+        return None
+    if "*" in patterns:
+        return 1.0
+    total = 0.0
+    for name, frac in fractions.items():
+        for pat in patterns:
+            if name == pat or (pat.endswith(".") and name.startswith(pat)):
+                total += frac
+                break
+    return min(round(total, 4), 1.0)
+
+
+def tier_for(weight: float) -> str:
+    if weight >= TIER_HOT:
+        return "hot"
+    if weight >= TIER_WARM:
+        return "warm"
+    return "note"
+
+
+def rank_key(f: Finding) -> tuple:
+    """Sort key: hottest first, then the stable location order."""
+    weight = f.weight if f.weight is not None else -1.0
+    return (-weight, f.path, f.line, f.col, f.rule)
+
+
+def apply_profile(
+    findings: Sequence[Finding], fractions: Dict[str, float]
+) -> List[Finding]:
+    """Weight + tier every perf finding and re-rank the whole list.
+
+    Non-perf findings pass through untouched and sort after weighted
+    ones. With empty ``fractions`` the input order is preserved.
+    """
+    if not fractions:
+        return list(findings)
+    out: List[Finding] = []
+    for f in findings:
+        weight = weight_for(f.rule, fractions)
+        if weight is None:
+            out.append(f)
+        else:
+            out.append(
+                dataclasses.replace(f, weight=weight, tier=tier_for(weight))
+            )
+    out.sort(key=rank_key)
+    return out

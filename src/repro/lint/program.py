@@ -239,6 +239,13 @@ class Program:
         """Files that were actually parsed this run (cache misses)."""
         return [r.path for r in self._records.values() if r.tree is not None]
 
+    def source_of(self, path: str) -> Optional[str]:
+        """The source text ``path`` had when this program parsed it (None
+        for files outside the program). ``--fix --write`` hashes this
+        against the on-disk bytes to refuse clobbering concurrent edits."""
+        rec = self._records.get(str(path))
+        return rec.source if rec else None
+
     # -- context for checkers --------------------------------------------------
     def module_of(self, filename: str) -> str:
         rec = self._records.get(str(filename))

@@ -184,9 +184,9 @@ class Comm:
         ctx.values[self.rank] = value
         ctx.count += 1
         if ctx.count == self.size:
-            result = combine(ctx.values)
+            ctx.result = combine(ctx.values)
             cost = cost_fn(ctx.values)
-            self.job.sim.schedule(cost, lambda: ctx.event.succeed(result))
+            self.job.sim.schedule(cost, ctx.fire)
         result = yield ctx.event
         return result
 

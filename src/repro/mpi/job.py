@@ -52,7 +52,7 @@ class JobResult:
 
 
 class _CollCtx:
-    __slots__ = ("kind", "values", "event", "count", "expected")
+    __slots__ = ("kind", "values", "event", "count", "expected", "result")
 
     def __init__(self, sim: Simulator, kind: str, expected: int) -> None:
         self.kind = kind
@@ -60,6 +60,12 @@ class _CollCtx:
         self.event = sim.event(name=f"coll:{kind}")
         self.count = 0
         self.expected = expected
+        self.result: Any = None
+
+    def fire(self) -> None:
+        """Scheduled completion callback. A bound method with the combined
+        result stashed on the ctx — not a per-collective closure (SL901)."""
+        self.event.succeed(self.result)
 
 
 class MPIJob:

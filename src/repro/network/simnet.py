@@ -61,6 +61,29 @@ def set_hybrid_default(enabled: bool) -> bool:
     return previous
 
 
+#: Process-wide transfer totals summed over every :class:`SimNetwork`
+#: since the last reset. Networks are constructed deep inside driver
+#: sweeps (one per ``MPIJob``), so per-driver fast-path eligibility
+#: checks read these aggregates instead of chasing instances.
+_FAST_TRANSFERS = 0
+_TRANSFERS = 0
+
+
+def transfer_totals() -> Tuple[int, int]:
+    """``(fast_transfers, transfers_completed)`` summed across every
+    network since the last :func:`reset_transfer_totals`."""
+    return _FAST_TRANSFERS, _TRANSFERS
+
+
+def reset_transfer_totals() -> Tuple[int, int]:
+    """Zero the process-wide transfer totals; returns the old values."""
+    global _FAST_TRANSFERS, _TRANSFERS
+    previous = (_FAST_TRANSFERS, _TRANSFERS)
+    _FAST_TRANSFERS = 0
+    _TRANSFERS = 0
+    return previous
+
+
 @contextmanager
 def hybrid_mode(enabled: bool):
     """Context manager: networks constructed inside use ``enabled`` as
@@ -267,6 +290,7 @@ class SimNetwork:
         ``yield from net.transfer(a, b, n, lat)``; returns the completion
         time.
         """
+        global _FAST_TRANSFERS, _TRANSFERS
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         tracer = self._tracer
@@ -285,6 +309,7 @@ class SimNetwork:
             if nbytes:
                 yield Delay(nbytes / self._intra_bw_Bs)
             self.transfers_completed += 1
+            _TRANSFERS += 1
             if span is not None:
                 tracer.end(span, self.sim.now, intra_node=True)
             return self.sim.now
@@ -312,6 +337,7 @@ class SimNetwork:
                     r._in_use = 1
                     r._grants += 1
                 self.fast_transfers += 1
+                _FAST_TRANSFERS += 1
                 try:
                     if nbytes:
                         hold = nbytes / self._path_bw_Bs
@@ -322,6 +348,7 @@ class SimNetwork:
                     for r in reversed(ordered):
                         r.release()
                 self.transfers_completed += 1
+                _TRANSFERS += 1
                 return self.sim.now
         else:
             route = yield from self._resolve_route(src_node, dst_node)
@@ -350,6 +377,7 @@ class SimNetwork:
             for res in reversed(acquired):
                 res.release()
         self.transfers_completed += 1
+        _TRANSFERS += 1
         if span is not None:
             tracer.end(span, self.sim.now, hops=len(route))
         return self.sim.now

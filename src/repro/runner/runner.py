@@ -28,7 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.experiment import ExperimentResult
 from repro.core.registry import get_experiment, resolve_ids
@@ -56,6 +56,13 @@ class RunOutcome:
     could not be executed at all — a pool worker died (OOM-killed,
     segfaulted) and the one inline retry failed too. Failed outcomes
     are never cached.
+
+    ``net`` is the ``(fast, total)`` network transfer count observed by
+    the executing process (:func:`repro.network.simnet.transfer_totals`)
+    — counted in the worker and shipped back through the pool, so
+    ``--jobs N`` fan-out reports the same totals as a serial run. For
+    cache hits it is the stored count of the original run; ``None`` only
+    for failed outcomes and entries predating the field.
     """
 
     exp_id: str
@@ -64,6 +71,7 @@ class RunOutcome:
     wall_s: float
     key: Optional[str] = None
     error: Optional[str] = None
+    net: Optional[Tuple[int, int]] = None
 
     @property
     def failed(self) -> bool:
@@ -85,14 +93,22 @@ def _execute(
     the worker, rather than returned).
     """
     from repro.experiments.common import faults_from, profiling_to, tracing_to
+    from repro.network import simnet
 
     with faults_from(faults_path), \
             tracing_to(trace_path, exp_id=exp_id), \
             profiling_to(profile_dir, exp_id):
+        simnet.reset_transfer_totals()
         t0 = time.perf_counter()  # simlint: ignore[SL201]
         result = get_experiment(exp_id)()
         wall_s = time.perf_counter() - t0  # simlint: ignore[SL201]
-    return {"exp_id": exp_id, "result": result.to_dict(), "wall_s": wall_s}
+        net = simnet.reset_transfer_totals()
+    return {
+        "exp_id": exp_id,
+        "result": result.to_dict(),
+        "wall_s": wall_s,
+        "net": list(net),
+    }
 
 
 class ExperimentRunner:
@@ -183,6 +199,7 @@ class ExperimentRunner:
                     from_cache=True,
                     wall_s=entry.wall_s,
                     key=key,
+                    net=entry.net,
                 )
             else:
                 to_run.append(exp_id)
@@ -201,12 +218,14 @@ class ExperimentRunner:
                 )
                 continue
             result = ExperimentResult.from_dict(payload["result"])
+            net = payload.get("net")
             outcome = RunOutcome(
                 exp_id=exp_id,
                 result=result,
                 from_cache=False,
                 wall_s=payload["wall_s"],
                 key=key,
+                net=tuple(net) if net is not None else None,
             )
             if caching and key is not None:
                 self.cache.put(
@@ -216,6 +235,7 @@ class ExperimentRunner:
                         version=__version__,
                         wall_s=outcome.wall_s,
                         result=result,
+                        net=outcome.net,
                     )
                 )
             outcomes[exp_id] = outcome

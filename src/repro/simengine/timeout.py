@@ -69,7 +69,9 @@ def with_timeout(sim, event: Event, timeout_s: float, what: str = ""):
     if timeout_s < 0:
         raise ValueError(f"negative timeout {timeout_s!r}")
     timer = sim.event(name=f"timeout({timeout_s:.9g})")
-    handle = sim.schedule(timeout_s, lambda: timer.succeed(None))
+    # Bound method, not a closure: with_timeout is on the retransmission
+    # hot path and SL901 bans per-event lambda allocation there.
+    handle = sim.schedule(timeout_s, timer.succeed)
     index, value = yield AnyOf([event, timer])
     if index == 0:
         sim.cancel(handle)

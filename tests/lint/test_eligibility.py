@@ -1,0 +1,131 @@
+"""Static fast-path eligibility certificate vs runtime ground truth."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import eligibility as el
+from repro.lint.core import DEFAULT_EXCLUDES, expand_paths
+from repro.lint.program import Program
+
+ROOT = Path(__file__).parents[2]
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    files = expand_paths([str(ROOT / "src")], DEFAULT_EXCLUDES)
+    return el.certify_program(Program(files))
+
+
+def test_certificate_covers_every_registered_driver(verdicts):
+    from repro.core.registry import all_experiments
+
+    assert [v.exp_id for v in verdicts] == all_experiments()
+
+
+def test_expected_fast_drivers(verdicts):
+    by = {v.exp_id: v for v in verdicts}
+    fast = sorted(e for e, v in by.items() if v.verdict == "fast")
+    # the network-simulating drivers; everything else is analytic
+    assert fast == ["ext_resilience", "fig12_13"]
+    assert "repro.mpi.job:MPIJob" in by["fig12_13"].networks
+    assert "repro.network.simnet:SimNetwork" in by["fig12_13"].networks
+    # nothing in the shipped tree reaches a process-global installer
+    assert not any(v.blockers for v in verdicts)
+    assert not any(v.verdict == "blocked" for v in verdicts)
+
+
+def test_static_verdict_matches_runtime_fast_transfers(verdicts):
+    runtime = el.runtime_fast_transfers()
+    assert set(runtime) == {v.exp_id for v in verdicts}
+    # the acceptance contract: verdict == "fast" iff fast_transfers > 0
+    assert el.cross_check(verdicts, runtime) == []
+    assert runtime["fig12_13"][0] > 0
+    assert runtime["ext_resilience"][0] > 0
+
+
+def test_render_report_marks_agreement(verdicts):
+    runtime = el.runtime_fast_transfers(["fig12_13"])
+    report = el.render_report(verdicts, runtime)
+    assert "fig12_13" in report and "agree" in report
+    assert "MISMATCH" not in report
+
+
+def test_blocked_verdict_on_reachable_installer():
+    program = Program.from_sources(
+        {
+            "src/repro/obs/tracer.py": "def install(t):\n    return t\n",
+            "src/repro/experiments/fake.py": (
+                "from repro.core.registry import register\n"
+                "from repro.obs.tracer import install\n"
+                "def helper():\n"
+                "    install(None)\n"
+                "@register('fake99')\n"
+                "def run():\n"
+                "    helper()\n"
+            ),
+        }
+    )
+    verdicts = el.certify(program.table)
+    assert [v.exp_id for v in verdicts] == ["fake99"]
+    assert verdicts[0].verdict == "blocked"
+    assert verdicts[0].blockers == ["repro.obs.tracer:install"]
+
+
+def test_fast_verdict_via_instance_method_chain():
+    # network constructed two hops away, on a method of a local instance
+    program = Program.from_sources(
+        {
+            "src/repro/mpi/job.py": (
+                "class MPIJob:\n"
+                "    def __init__(self, machine, ntasks):\n"
+                "        self.machine = machine\n"
+                "    def run(self, main):\n"
+                "        return main\n"
+            ),
+            "src/repro/experiments/fake.py": (
+                "from repro.core.registry import register\n"
+                "from repro.mpi.job import MPIJob\n"
+                "class Bench:\n"
+                "    def __init__(self, machine):\n"
+                "        self.machine = machine\n"
+                "    def sweep(self):\n"
+                "        job = MPIJob(self.machine, 2)\n"
+                "        return job.run(None)\n"
+                "@register('fake98')\n"
+                "def run():\n"
+                "    bench = Bench(None)\n"
+                "    return bench.sweep()\n"
+            ),
+        }
+    )
+    verdicts = el.certify(program.table)
+    assert verdicts[0].verdict == "fast"
+    assert verdicts[0].networks == ["repro.mpi.job:MPIJob"]
+
+
+def test_unreached_network_stays_no_network():
+    # a module-level MPIJob user exists but the driver never calls it
+    program = Program.from_sources(
+        {
+            "src/repro/mpi/job.py": (
+                "class MPIJob:\n"
+                "    def __init__(self, machine, ntasks):\n"
+                "        self.machine = machine\n"
+            ),
+            "src/repro/apps/model.py": (
+                "from repro.mpi.job import MPIJob\n"
+                "def simulate():\n"
+                "    return MPIJob(None, 2)\n"
+            ),
+            "src/repro/experiments/fake.py": (
+                "from repro.core.registry import register\n"
+                "@register('fake97')\n"
+                "def run():\n"
+                "    return 42\n"
+            ),
+        }
+    )
+    verdicts = el.certify(program.table)
+    assert verdicts[0].verdict == "no-network"
+    assert verdicts[0].networks == []

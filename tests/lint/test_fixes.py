@@ -93,6 +93,61 @@ def test_overlapping_fixes_apply_one_round_at_a_time():
     assert "yield from comm.send(" in fixed
 
 
+# -- concurrent-edit guard ----------------------------------------------------
+
+def test_fix_files_refuses_file_changed_since_parse(tmp_path):
+    from repro.lint.fixes import fix_files
+    from repro.lint.program import Program
+
+    target = tmp_path / "bad_yieldfrom.py"
+    shutil.copy(FIXTURES / "bad_yieldfrom.py", target)
+    program = Program([str(target)])
+    findings = program.lint_all()
+    assert any(f.fix is not None for f in findings)
+    # somebody edits the file between the lint parse and --write
+    concurrent = program.source_of(str(target)) + "\n# concurrent edit\n"
+    target.write_text(concurrent)
+    diffs, applied, refused = fix_files(
+        findings,
+        write=True,
+        expected_sources={str(target): program.source_of(str(target))},
+    )
+    assert refused == [str(target)]
+    assert applied == [] and diffs == {}
+    # the concurrent edit is intact, not clobbered with stale-span output
+    assert target.read_text() == concurrent
+
+
+def test_fix_files_without_expected_sources_keeps_writing(tmp_path):
+    from repro.lint.fixes import fix_files
+    from repro.lint.program import Program
+
+    target = tmp_path / "bad_yieldfrom.py"
+    shutil.copy(FIXTURES / "bad_yieldfrom.py", target)
+    findings = Program([str(target)]).lint_all()
+    diffs, applied, refused = fix_files(findings, write=True)
+    assert applied and refused == []
+    assert "yield from" in target.read_text()
+
+
+def test_cli_fix_write_exits_3_on_concurrent_edit(tmp_path, monkeypatch, capsys):
+    from repro.lint import cli
+    from repro.lint.program import Program
+
+    target = tmp_path / "bad_yieldfrom.py"
+    shutil.copy(FIXTURES / "bad_yieldfrom.py", target)
+    before = target.read_text()
+    # make every parsed source look stale against the on-disk bytes
+    monkeypatch.setattr(
+        Program, "source_of", lambda self, path: before + "# stale\n"
+    )
+    rc = cli.main([str(target), "--fix", "--write", "--no-cache"])
+    captured = capsys.readouterr()
+    assert rc == 3
+    assert "changed on disk" in captured.err
+    assert target.read_text() == before
+
+
 # -- CLI ----------------------------------------------------------------------
 
 def _run_cli(*args, cwd=None):

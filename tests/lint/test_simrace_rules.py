@@ -124,7 +124,9 @@ def test_matching_rules_expands_prefix():
     assert got == {"SL801", "SL802", "SL803", "SL804", "SL850"}
     assert matching_rules("SL80") == {"SL801", "SL802", "SL803", "SL804"}
     assert matching_rules("bogus") == set()
-    assert matching_rules("SL9") == set()
+    assert matching_rules("SL9") == {
+        "SL901", "SL902", "SL903", "SL904", "SL905",
+    }
 
 
 def _run_cli(*args, cwd=None):
@@ -149,7 +151,7 @@ def test_cli_select_sl8_prefix(tmp_path):
 def test_cli_select_unknown_prefix_exits_2(tmp_path):
     target = tmp_path / "mod.py"
     target.write_text("x = 1\n", encoding="utf-8")
-    proc = _run_cli(str(target), "--select", "SL9", "--no-cache")
+    proc = _run_cli(str(target), "--select", "SL99", "--no-cache")
     assert proc.returncode == 2
     assert "unknown rule/family" in proc.stderr
 

@@ -1,0 +1,45 @@
+"""Network transfer totals: counted in workers, shipped through the pool,
+stored in the cache — ``--jobs N`` reports what a serial run reports."""
+
+import json
+
+from repro.runner import ExperimentRunner, ResultCache
+
+#: One network-simulating driver, one analytic, one table.
+IDS = ["fig05", "fig12_13", "table1"]
+
+
+def test_net_totals_survive_process_pool_fanout():
+    pooled = {o.exp_id: o for o in ExperimentRunner(None).run(IDS, jobs=2)}
+    fast, total = pooled["fig12_13"].net
+    assert fast > 0 and total >= fast
+    assert pooled["fig05"].net == (0, 0)
+    assert pooled["table1"].net == (0, 0)
+    # worker-side counting: the parent process totals must not be the
+    # source (they'd be zero), and serial execution must agree exactly
+    serial = {o.exp_id: o for o in ExperimentRunner(None).run(IDS, jobs=1)}
+    for exp_id in IDS:
+        assert serial[exp_id].net == pooled[exp_id].net
+
+
+def test_cache_hit_reports_stored_net_totals(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = {o.exp_id: o for o in ExperimentRunner(cache).run(IDS, jobs=2)}
+    warm = {o.exp_id: o for o in ExperimentRunner(cache).run(IDS)}
+    for exp_id in IDS:
+        assert warm[exp_id].from_cache
+        assert warm[exp_id].net == cold[exp_id].net
+    assert warm["fig12_13"].net[0] > 0
+
+
+def test_entries_predating_net_field_still_load(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    [o] = ExperimentRunner(cache).run(["fig05"])
+    path = cache.path_for(o.key)
+    data = json.loads(path.read_text())
+    data.pop("net", None)
+    path.write_text(json.dumps(data))
+    entry = cache.get(o.key)
+    assert entry is not None and entry.net is None
+    [warm] = ExperimentRunner(cache).run(["fig05"])
+    assert warm.from_cache and warm.net is None
